@@ -1,0 +1,66 @@
+"""Ablation: the two schedule-generation phases (§IV-B).
+
+Phase 1 (connected prefix) and phase 2 (independent suffix) exist to
+shrink the space the performance model must score *without* losing the
+good schedules.  This bench reports, per pattern: the space size after
+each phase and the best *measured* schedule retained — phase filtering
+must not eliminate the oracle.
+"""
+
+import pytest
+
+from repro.core.codegen import compile_plan_function
+from repro.core.config import Configuration
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import dedup_schedules, generate_schedules, all_schedules
+from repro.pattern.catalog import paper_patterns
+from repro.utils.tables import Table, format_seconds
+
+from _common import bench_graph, emit, once, time_call
+
+
+@pytest.mark.benchmark(group="ablation-schedule")
+def test_ablation_schedule_phases(benchmark, capsys):
+    graph = bench_graph("wiki-vote")
+    patterns = paper_patterns()
+    table = Table(
+        ["pattern", "n!", "phase1", "phase1+2 (GraphPi)",
+         "best time phase1", "best time phase1+2"],
+        title="Ablation: schedule-space filtering by generation phase",
+    )
+
+    import math
+
+    for pname in ("P1", "P2", "P3"):
+        pattern = patterns[pname]
+        rs = generate_restriction_sets(pattern)[0]
+        phase1 = generate_schedules(pattern, phase1=True, phase2=False,
+                                    dedup_automorphic=True)
+        both = generate_schedules(pattern, phase1=True, phase2=True,
+                                  dedup_automorphic=True)
+
+        def best_time(schedules):
+            best = float("inf")
+            for s in schedules:
+                plan = Configuration(pattern, s, rs).compile()
+                seconds, _ = time_call(compile_plan_function(plan), graph)
+                best = min(best, seconds)
+            return best
+
+        t1 = best_time(phase1)
+        t2 = best_time(both)
+        table.add_row(
+            [pname, math.factorial(pattern.n_vertices), len(phase1), len(both),
+             format_seconds(t1), format_seconds(t2)]
+        )
+        # Phase 2 must not lose much: its best is within noise of the
+        # phase-1 oracle (it may even win by keeping only cheap shapes).
+        assert t2 <= t1 * 3.0, pname
+        assert len(both) <= len(phase1)
+
+    emit(table, capsys, "ablation_schedule_phases.tsv")
+
+    pattern = patterns["P1"]
+    rs = generate_restriction_sets(pattern)[0]
+    plan = Configuration(pattern, generate_schedules(pattern)[0], rs).compile()
+    once(benchmark, compile_plan_function(plan), graph)

@@ -1,0 +1,69 @@
+"""Figure 2(b): schedule x restriction combinations differ several-fold.
+
+Paper: four combinations of two schedules and two restriction sets for
+the 5-vertex pattern on Patents run in 6.33 s / 11.4 s / 73.6 s / 146.7 s
+— a 23.2x spread.  Here: the house pattern on the Patents proxy, two
+generated schedules crossed with two generated restriction sets; we
+report the spread (expect the same shape: several-fold, best combo is
+schedule- *and* restriction-dependent).
+"""
+
+import pytest
+
+from repro.core.codegen import compile_plan_function
+from repro.core.config import Configuration
+from repro.core.perf_model import PerformanceModel
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import house
+from repro.utils.tables import Table, format_seconds, format_speedup
+
+from _common import bench_graph, emit, once, time_call
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_combinations(benchmark, capsys):
+    graph = bench_graph("patents")
+    pattern = house()
+    stats = GraphStats.of(graph)
+    model = PerformanceModel(stats)
+
+    schedules = generate_schedules(pattern, dedup_automorphic=True)
+    rsets = generate_restriction_sets(pattern)
+    # Rank schedules under the first restriction set; take best and worst.
+    ranked = model.rank([Configuration(pattern, s, rsets[0]) for s in schedules])
+    sched_best = ranked[0].config.schedule
+    sched_worst = ranked[-1].config.schedule
+    # Two restriction sets that disagree on the best schedule's cost.
+    rs_sorted = sorted(
+        rsets,
+        key=lambda rs: model.rank([Configuration(pattern, sched_best, rs)])[0].predicted_cost,
+    )
+    rs_good, rs_bad = rs_sorted[0], rs_sorted[-1]
+
+    table = Table(
+        ["schedule", "restrictions", "time", "count"],
+        title="Figure 2(b): performance of schedule x restriction combinations "
+              "(house on patents proxy; paper spread: 23.2x)",
+    )
+    times = {}
+    for sched in (sched_best, sched_worst):
+        for rs in (rs_good, rs_bad):
+            plan = Configuration(pattern, sched, rs).compile()
+            fn = compile_plan_function(plan)
+            seconds, count = time_call(fn, graph)
+            times[(sched, rs)] = seconds
+            table.add_row(
+                [list(sched), ", ".join(f"id({g})>id({s})" for g, s in sorted(rs)),
+                 format_seconds(seconds), count]
+            )
+    spread = max(times.values()) / min(times.values())
+    table.add_row(["spread (best vs worst)", "", format_speedup(spread), ""])
+    emit(table, capsys, "fig2_combinations.tsv")
+
+    counts = set()
+    once(benchmark, compile_plan_function(
+        Configuration(pattern, sched_best, rs_good).compile()), graph)
+
+    assert spread > 1.2, "combinations should differ measurably"

@@ -1,0 +1,40 @@
+"""Table I: graph datasets.
+
+Paper: 6 SNAP graphs from 7.1 K to 41.7 M vertices.  Here: the seeded
+synthetic proxies at benchmark scale, with the paper's original sizes
+printed alongside for the record.
+"""
+
+import pytest
+
+from repro.graph.datasets import DATASETS
+from repro.graph.stats import GraphStats
+from repro.utils.tables import Table
+
+from _common import BENCH_SCALES, bench_graph, emit, once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_datasets(benchmark, capsys):
+    table = Table(
+        ["graph", "paper |V|", "paper |E|", "proxy |V|", "proxy |E|",
+         "proxy triangles", "avg deg", "description"],
+        title="Table I: graph datasets (proxies at benchmark scale)",
+    )
+    stats_of = {}
+    for name, spec in DATASETS.items():
+        g = bench_graph(name)
+        s = GraphStats.of(g)
+        stats_of[name] = s
+        table.add_row(
+            [name, spec.paper_vertices, spec.paper_edges, s.n_vertices,
+             s.n_edges, s.triangles, f"{s.avg_degree:.1f}", spec.description]
+        )
+    emit(table, capsys, "table1_datasets.tsv")
+
+    # Representative measured operation: full stats of the largest proxy.
+    once(benchmark, lambda: GraphStats.of(bench_graph("twitter")))
+
+    # Shape assertions mirroring the paper's dataset ordering.
+    assert stats_of["twitter"].n_vertices == max(s.n_vertices for s in stats_of.values())
+    assert stats_of["orkut"].avg_degree > stats_of["livejournal"].avg_degree

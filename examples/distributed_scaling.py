@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed pattern matching: real cores + simulated cluster (§IV-E).
+
+Demonstrates all three runtime layers:
+
+1. sequential master/worker task partitioning (reference),
+2. real multiprocessing across local cores,
+3. the event-driven cluster simulator replaying *measured* task costs
+   at Tianhe-2A scale (24 threads/node, MPI-style work stealing) — the
+   machinery behind the Figure 12 reproduction.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+import numpy as np
+
+from repro import PatternMatcher, get_pattern, load_dataset
+from repro.runtime.cluster import scaling_curve
+from repro.runtime.parallel import measure_task_costs, parallel_count
+from repro.runtime.tasks import run_partitioned
+from repro.utils.tables import Table, format_seconds
+
+
+def main() -> None:
+    graph = load_dataset("orkut", scale=0.08, seed=13)
+    pattern = get_pattern("house")
+    print(f"pattern {pattern.name!r} on {graph}\n")
+
+    report = PatternMatcher(pattern).plan(graph, use_iep=False)
+    plan = report.plan
+
+    # 1. Sequential master/worker partitioning.
+    total, parts = run_partitioned(graph, plan, split_depth=2)
+    sizes = sorted(c for _, c in parts)
+    print(f"sequential partitioned count: {total} over {len(parts)} tasks")
+    print(f"task skew: median={sizes[len(sizes) // 2]}, max={sizes[-1]} "
+          "(power-law degrees -> imbalanced tasks, the §IV-E motivation)\n")
+
+    # 2. Real multiprocessing.
+    result = parallel_count(graph, plan, n_workers=2, split_depth=2)
+    assert result.count == total
+    print(f"multiprocessing ({result.n_workers} workers): count={result.count}\n")
+
+    # 3. Simulated cluster at paper scale.
+    costs = np.asarray(measure_task_costs(graph, plan, split_depth=2))
+    print(f"measured {len(costs)} task costs "
+          f"(total {costs.sum():.2f} s, max {costs.max() * 1e3:.1f} ms)")
+    table = Table(
+        ["nodes", "cores", "simulated time", "speedup", "efficiency", "steals"],
+        title="simulated scaling (24 threads/node, work stealing)",
+    )
+    node_counts = [1, 2, 4, 8, 16, 32, 64, 128]
+    results = scaling_curve(costs, node_counts, threads_per_node=24)
+    base = results[0].makespan
+    for n, r in zip(node_counts, results):
+        table.add_row(
+            [n, n * 24, format_seconds(r.makespan), f"{base / r.makespan:.1f}x",
+             f"{r.efficiency * 100:.0f}%", r.steals]
+        )
+    print(table.render())
+    print("\nNear-linear until per-node work runs out — the Figure 12 shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Labeled pattern matching: fraud-ring detection on a payment graph.
+
+The paper's motivation cites fraud detection as a pattern-matching
+application and claims the methods "can be easily extended to labeled
+graphs" (§II-A).  This example runs that extension: vertices carry
+account types (USER / MERCHANT / MULE) and we search for suspicious
+labeled structures — e.g. a ring of users all transacting with the same
+two mule accounts.
+
+Labels change the redundancy-elimination story in a measurable way:
+only *label-preserving* symmetries create duplicate embeddings, so the
+restriction generator runs on a smaller group — sometimes none are
+needed at all.
+
+Run:  python examples/labeled_fraud_rings.py
+"""
+
+from repro.core.labeled import LabeledMatcher
+from repro.graph.datasets import load_dataset
+from repro.graph.labeled import assign_random_labels
+from repro.pattern.catalog import cycle, rectangle, triangle
+from repro.pattern.labeled import LabeledPattern, labeled_automorphism_count
+from repro.pattern.pattern import Pattern
+from repro.utils.tables import Table
+
+USER, MERCHANT, MULE = 0, 1, 2
+LABEL_NAMES = {USER: "user", MERCHANT: "merchant", MULE: "mule"}
+
+
+def main() -> None:
+    base = load_dataset("livejournal", scale=0.05, seed=21)
+    # 80% users, 15% merchants, 5% mules.
+    lgraph = assign_random_labels(base, 3, seed=22, weights=[0.80, 0.15, 0.05])
+    hist = lgraph.label_histogram()
+    print(f"payment graph: {base}")
+    print("account mix:  ",
+          ", ".join(f"{LABEL_NAMES[k]}={v}" for k, v in sorted(hist.items())))
+
+    suspicious = {
+        "mule triangle (3 mutually linked mules)": LabeledPattern(
+            triangle(), (MULE, MULE, MULE)
+        ),
+        "collusion square (user-mule-user-mule ring)": LabeledPattern(
+            rectangle(), (USER, MULE, USER, MULE)
+        ),
+        "fan-in (two users feeding a mule pair)": LabeledPattern(
+            Pattern(4, [(0, 2), (0, 3), (1, 2), (1, 3)]),
+            (USER, USER, MULE, MULE),
+        ),
+        "laundering pentagon (user ring with one mule)": LabeledPattern(
+            cycle(5), (MULE, USER, USER, USER, USER)
+        ),
+    }
+
+    table = Table(
+        ["structure", "labeled |Aut| (vs structural)", "matches"],
+        title="suspicious labeled structures",
+    )
+    for name, lpattern in suspicious.items():
+        from repro.pattern.automorphism import automorphism_count
+
+        matcher = LabeledMatcher(lpattern)
+        count = matcher.count(lgraph)
+        table.add_row(
+            [name,
+             f"{labeled_automorphism_count(lpattern)} "
+             f"(vs {automorphism_count(lpattern.pattern)})",
+             count]
+        )
+    print("\n" + table.render())
+
+    # Show a few concrete suspects from the most constrained shape.
+    lpattern = suspicious["collusion square (user-mule-user-mule ring)"]
+    matcher = LabeledMatcher(lpattern)
+    print("\nexample collusion squares (vertex ids):")
+    for emb in matcher.match(lgraph, limit=5):
+        roles = ", ".join(
+            f"{v}:{LABEL_NAMES[lgraph.label_of(v)]}" for v in emb
+        )
+        print(f"  ({roles})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Motif census: the graph-mining workload from the paper's introduction.
+
+The paper motivates GraphPi with general-purpose miners choking on
+motif counting ("RStream generates about 1.2TB intermediate data to
+count 4-motif on the MiCo graph").  With GraphPi-style counting, a
+4-motif census is six planned counts — no intermediate data at all —
+and IEP collapses the biggest terms.
+
+Run:  python examples/motif_census.py
+"""
+
+import time
+
+from repro import load_dataset
+from repro.mining.motifs import motif_census, motif_frequencies
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # The MiCo co-authorship proxy (Table I), scaled for a laptop run.
+    graph = load_dataset("mico", scale=0.12, seed=11)
+    print(f"data graph: {graph}\n")
+
+    for k in (3, 4):
+        t0 = time.perf_counter()
+        census = motif_census(graph, k, use_iep=True)
+        elapsed = time.perf_counter() - t0
+
+        freqs = motif_frequencies(graph, k)
+        table = Table(
+            ["motif", "vertices", "edges", "count", "frequency"],
+            title=f"{k}-motif census ({elapsed:.2f} s with IEP)",
+        )
+        for m in census:
+            table.add_row(
+                [m.pattern.name, m.pattern.n_vertices, m.pattern.n_edges,
+                 m.count, f"{freqs[m.pattern.name] * 100:.2f}%"]
+            )
+        print(table.render())
+        print()
+
+    # Show the IEP effect on the census (the paper's Figure 10 story).
+    t0 = time.perf_counter()
+    motif_census(graph, 4, use_iep=False)
+    t_plain = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    motif_census(graph, 4, use_iep=True)
+    t_iep = time.perf_counter() - t0
+    print(f"4-motif census without IEP: {t_plain:.2f} s")
+    print(f"4-motif census with IEP:    {t_iep:.2f} s  "
+          f"({t_plain / t_iep:.1f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Motif significance profiles: counts only mean something vs a null.
+
+The paper motivates pattern matching with bioinformatics motif discovery
+(reference [2]); the methodology those applications actually run is the
+Milo-et-al. significance profile — compare each motif count against
+degree-preserving randomisations of the same graph and report z-scores.
+Every ensemble member is one more full GraphPi counting run, which is
+why the repeated-counting speed the paper optimises matters downstream.
+
+Two graphs, same statistics machinery:
+
+* a Watts–Strogatz small world — triangles hugely over-represented
+  (that is what "clustered" means once degrees are controlled for);
+* an Erdős–Rényi control with the same size — z-scores near zero.
+
+Run:  python examples/motif_significance.py
+"""
+
+from repro.graph.generators import erdos_renyi, watts_strogatz
+from repro.mining.significance import motif_significance
+from repro.pattern.catalog import cycle, path, triangle
+
+MOTIFS = [triangle(), cycle(4), path(3)]
+
+
+def profile(graph, label: str) -> None:
+    print(f"\n--- {label}: {graph.n_vertices} vertices, {graph.n_edges} edges ---")
+    rows = motif_significance(
+        graph, MOTIFS, n_random=8, swaps_per_edge=5, seed=2020
+    )
+    print(f"{'motif':<12} {'observed':>9} {'null mean':>10} {'null std':>9} {'z':>8}")
+    for r in rows:
+        print(
+            f"{r.pattern.name:<12} {r.observed:>9} {r.null_mean:>10.1f} "
+            f"{r.null_std:>9.1f} {r.zscore:>+8.2f}"
+        )
+
+
+def main() -> None:
+    smallworld = watts_strogatz(200, 4, 0.05, seed=7, name="small-world")
+    profile(smallworld, "Watts-Strogatz small world (clustered)")
+
+    control = erdos_renyi(200, 4 / 199, seed=9, name="ER-control")
+    profile(control, "Erdős-Rényi control (same density)")
+
+    print(
+        "\nThe small world's triangle z-score dwarfs the control's: its\n"
+        "clustering is structure, not a degree artefact — the conclusion\n"
+        "the null-model comparison exists to license.\n"
+        "\nAlso note the path-3 rows: wedge counts are a pure function of\n"
+        "the degree sequence (sum of deg·(deg-1)/2), so the degree-\n"
+        "preserving null reproduces them *exactly* — null std 0, z 0 —\n"
+        "a built-in correctness check on the swap randomiser."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Streaming updates: incremental statistics and cheap replanning.
+
+The paper's cardinality estimator treats the triangle count as a
+constant because *"we assume that the data graph is immutable ...  Even
+if the graph is mutable, it is trivial to calculate tri_cnt
+incrementally"* (§IV-C).  This example plays that scenario out:
+
+1. start from a sparse power-law graph;
+2. stream in batches of edges (a densifying community);
+3. after each batch, refresh the plan from the **O(1)** incremental
+   statistics — no graph rescan — and recount the House pattern;
+4. watch the performance model's chosen configuration shift as the
+   graph's clustering (p2) rises.
+
+Run:  python examples/streaming_replan.py
+"""
+
+import itertools
+import random
+
+from repro import PatternMatcher, get_pattern
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.generators import random_power_law
+
+
+def community_batches(members, rng, batch_size=60):
+    """Yield batches of intra-community edges in random order."""
+    pairs = list(itertools.combinations(members, 2))
+    rng.shuffle(pairs)
+    for i in range(0, len(pairs), batch_size):
+        yield pairs[i : i + batch_size]
+
+
+def main() -> None:
+    base = random_power_law(250, avg_degree=4.0, exponent=2.3, seed=17)
+    dyn = DynamicGraph.from_graph(base)
+    print(f"start: {dyn!r}")
+
+    pattern = get_pattern("house")
+    matcher = PatternMatcher(pattern)
+    rng = random.Random(23)
+    community = rng.sample(range(dyn.n_vertices), 24)
+
+    print(
+        f"\n{'batch':>5} {'|E|':>6} {'triangles':>9} {'p2':>9}  "
+        f"{'house count':>11}  chosen schedule"
+    )
+    for i, batch in enumerate(community_batches(community, rng)):
+        for u, v in batch:
+            if not dyn.has_edge(u, v):
+                dyn.add_edge(u, v)
+
+        stats = dyn.stats()  # O(1): from incremental counters
+        report = matcher.plan(stats=stats, use_iep=True)
+        count = matcher.count(dyn.snapshot(), report=report)
+        print(
+            f"{i:>5} {stats.n_edges:>6} {stats.triangles:>9} {stats.p2:>9.2e}  "
+            f"{count:>11}  {list(report.chosen.config.schedule)}"
+        )
+
+    print(
+        "\nEach row replanned from incremental counters alone; the\n"
+        "snapshot() freeze is the only per-batch O(|E|) step, and the\n"
+        "house count climbs as the community densifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the execution environment has no `wheel` package,
+so PEP 660 editable installs fail; `setup.py develop` works offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — a pure-Python reproduction of GraphPi (SC 2020).
+
+GraphPi: High Performance Graph Pattern Matching through Effective
+Redundancy Elimination (Shi, Zhai, Xu, Zhai — Tsinghua University).
+
+Top-level convenience re-exports cover the quickstart path: load a
+graph, pick a pattern, count/match.  See DESIGN.md for the full system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core.api import PatternMatcher, count_pattern, match_pattern
+from repro.core.directed import DirectedMatcher, count_directed, match_directed
+from repro.core.induced import induced_count
+from repro.graph.csr import Graph
+from repro.graph.builder import graph_from_edges
+from repro.graph.datasets import load_dataset
+from repro.graph.digraph import DiGraph, digraph_from_edges
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import get_pattern, paper_patterns
+from repro.pattern.directed import DiPattern
+from repro.pattern.pattern import Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PatternMatcher",
+    "count_pattern",
+    "match_pattern",
+    "DirectedMatcher",
+    "count_directed",
+    "match_directed",
+    "induced_count",
+    "Graph",
+    "graph_from_edges",
+    "load_dataset",
+    "DiGraph",
+    "digraph_from_edges",
+    "GraphStats",
+    "get_pattern",
+    "paper_patterns",
+    "Pattern",
+    "DiPattern",
+    "__version__",
+]

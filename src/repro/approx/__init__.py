@@ -1,0 +1,32 @@
+"""Approximate pattern counting (the ASAP baseline family).
+
+The paper's introduction positions GraphPi against approximate systems:
+*"ASAP [23] is a distributed approximate pattern matching system for
+estimating the count of embeddings ... It allows users to make a
+trade-off between the result accuracy and latency.  Although ASAP shows
+outstanding scalability, it is not applicable in some situations.  For
+example, ASAP fails to generate relatively accurate estimation by
+sampling if there are very few embeddings in the graph."*  (§I)
+
+This subpackage reproduces that comparator class:
+
+* :mod:`repro.approx.sampling` — an unbiased neighbourhood-sampling
+  estimator (Horvitz–Thompson over the restricted DFS tree, the same
+  search space ASAP's neighbourhood sampling explores);
+* :mod:`repro.approx.elp` — ASAP's error–latency profile: calibrate the
+  number of samples needed for a target error from a pilot run.
+
+``benchmarks/bench_approx_tradeoff.py`` reproduces both intro claims:
+the accuracy/latency knob, and the rare-embedding failure mode.
+"""
+
+from repro.approx.elp import ErrorLatencyProfile, build_elp
+from repro.approx.sampling import EstimateResult, NeighborhoodSampler, approximate_count
+
+__all__ = [
+    "NeighborhoodSampler",
+    "EstimateResult",
+    "approximate_count",
+    "ErrorLatencyProfile",
+    "build_elp",
+]

@@ -1,0 +1,102 @@
+"""Error–latency profiles (ELP): ASAP's accuracy/latency knob.
+
+ASAP lets users request "5% error at 95% confidence" and picks the
+sample budget by *building an error-latency profile* from pilot runs.
+The statistics behind the knob: for an unbiased estimator with per-trial
+variance σ², the mean of n trials has standard error σ/√n, so the
+relative half-width of the confidence interval shrinks as 1/√n and the
+sample budget for a target relative error ε is::
+
+    n(ε) = (z · σ / (ε · μ))²
+
+with μ, σ estimated from a pilot run.  The profile degrades exactly as
+the paper's introduction says it must: rare patterns have σ/μ ≫ 1 (most
+trials miss), so n(ε) explodes and sampling stops being competitive with
+exact GraphPi counting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.approx.sampling import NeighborhoodSampler
+from repro.graph.csr import Graph
+from repro.pattern.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class ErrorLatencyProfile:
+    """Calibrated sampling profile for one (graph, pattern) problem.
+
+    ``pilot_mean``/``pilot_std`` summarise the pilot run;
+    ``samples_for`` maps a target relative error to a sample budget,
+    ``error_at`` the other way around.
+    """
+
+    pilot_mean: float
+    pilot_std: float
+    pilot_samples: int
+    pilot_hits: int
+    confidence: float
+    z: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """σ/μ — the difficulty of the problem for sampling (∞ when the
+        pilot saw nothing)."""
+        if self.pilot_mean == 0:
+            return math.inf
+        return self.pilot_std / self.pilot_mean
+
+    def samples_for(self, relative_error: float) -> int:
+        """Sample budget for a target relative error at the profile's
+        confidence level.  Raises when the pilot saw no embeddings —
+        the profile contains no signal to calibrate against (ASAP's
+        rare-embedding failure)."""
+        if relative_error <= 0:
+            raise ValueError("relative_error must be positive")
+        if self.pilot_hits == 0:
+            raise RareEmbeddingError(
+                "pilot run produced 0 hits: the error-latency profile "
+                "cannot be calibrated for this (graph, pattern); use exact "
+                "counting instead"
+            )
+        cv = self.coefficient_of_variation
+        return max(1, math.ceil((self.z * cv / relative_error) ** 2))
+
+    def error_at(self, n_samples: int) -> float:
+        """Expected relative error with ``n_samples`` trials."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.pilot_hits == 0:
+            return math.inf
+        return self.z * self.coefficient_of_variation / math.sqrt(n_samples)
+
+
+class RareEmbeddingError(RuntimeError):
+    """The pilot run saw no embeddings; sampling cannot be calibrated."""
+
+
+def build_elp(
+    graph: Graph,
+    pattern: Pattern,
+    *,
+    pilot_samples: int = 2_000,
+    confidence: float = 0.95,
+    seed=None,
+) -> ErrorLatencyProfile:
+    """Run a pilot and return the calibrated profile."""
+    from statistics import NormalDist
+
+    sampler = NeighborhoodSampler(graph, pattern, seed=seed)
+    pilot = sampler.estimate(pilot_samples, confidence=confidence)
+    std = pilot.std_error * math.sqrt(pilot.n_samples)  # per-trial std
+    return ErrorLatencyProfile(
+        pilot_mean=pilot.estimate,
+        pilot_std=std,
+        pilot_samples=pilot.n_samples,
+        pilot_hits=pilot.hits,
+        confidence=confidence,
+        z=NormalDist().inv_cdf(0.5 + confidence / 2),
+    )

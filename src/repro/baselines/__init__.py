@@ -1,0 +1,33 @@
+"""Comparator systems: reproduced GraphZero, Fractal-style, brute force.
+
+These are the baselines of the paper's Figure 8 / Table II, plus the
+correctness oracle the test-suite validates everything against.
+"""
+
+from repro.baselines.bruteforce import (
+    bruteforce_count,
+    bruteforce_enumerate,
+    count_assignments,
+)
+from repro.baselines.fractal import FractalMatcher, FractalStats, fractal_count
+from repro.baselines.graphzero import (
+    GraphZeroMatcher,
+    GraphZeroPlan,
+    graphzero_cost,
+    graphzero_count,
+    graphzero_restriction_set,
+)
+
+__all__ = [
+    "bruteforce_count",
+    "bruteforce_enumerate",
+    "count_assignments",
+    "FractalMatcher",
+    "FractalStats",
+    "fractal_count",
+    "GraphZeroMatcher",
+    "GraphZeroPlan",
+    "graphzero_cost",
+    "graphzero_count",
+    "graphzero_restriction_set",
+]

@@ -1,0 +1,201 @@
+"""Brute-force correctness oracles.
+
+Independent implementations used by the test suite to validate every
+other matcher:
+
+* ``bruteforce_count`` — plain backtracking subgraph-isomorphism search
+  counting *assignments*, divided by |Aut| to get distinct embeddings.
+  No schedules, no restrictions, no intersections — deliberately naive
+  so it shares no code (and hence no bugs) with the engine.
+* ``bruteforce_enumerate`` — yields each distinct embedding once, as the
+  lexicographically smallest assignment of its orbit.
+* ``networkx`` VF2 is used in the tests as a third, external oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.csr import Graph
+from repro.pattern.automorphism import automorphism_count, automorphisms
+from repro.pattern.pattern import Pattern
+
+
+def count_assignments(graph: Graph, pattern: Pattern) -> int:
+    """Number of isomorphic *assignments* (each embedding counted |Aut| times)."""
+    n = pattern.n_vertices
+    if n > graph.n_vertices:
+        return 0
+    assignment: list[int] = []
+    used: set[int] = set()
+    count = 0
+
+    def backtrack(v: int) -> None:
+        nonlocal count
+        if v == n:
+            count += 1
+            return
+        for cand in range(graph.n_vertices):
+            if cand in used:
+                continue
+            ok = True
+            for prev in range(v):
+                if pattern.has_edge(prev, v) and not graph.has_edge(assignment[prev], cand):
+                    ok = False
+                    break
+            if ok:
+                assignment.append(cand)
+                used.add(cand)
+                backtrack(v + 1)
+                used.remove(cand)
+                assignment.pop()
+
+    backtrack(0)
+    return count
+
+
+def bruteforce_count(graph: Graph, pattern: Pattern) -> int:
+    """Distinct embeddings = assignments / |Aut|."""
+    total = count_assignments(graph, pattern)
+    aut = automorphism_count(pattern)
+    q, r = divmod(total, aut)
+    if r:
+        raise AssertionError(
+            f"assignment count {total} not divisible by |Aut|={aut} — "
+            "the brute-force matcher is broken"
+        )
+    return q
+
+
+def count_induced_assignments(graph: Graph, pattern: Pattern) -> int:
+    """Number of *vertex-induced* isomorphic assignments: pattern edges
+    map to edges AND pattern non-edges map to non-edges."""
+    n = pattern.n_vertices
+    if n > graph.n_vertices:
+        return 0
+    assignment: list[int] = []
+    used: set[int] = set()
+    count = 0
+
+    def backtrack(v: int) -> None:
+        nonlocal count
+        if v == n:
+            count += 1
+            return
+        for cand in range(graph.n_vertices):
+            if cand in used:
+                continue
+            ok = True
+            for prev in range(v):
+                if pattern.has_edge(prev, v) != graph.has_edge(assignment[prev], cand):
+                    ok = False
+                    break
+            if ok:
+                assignment.append(cand)
+                used.add(cand)
+                backtrack(v + 1)
+                used.remove(cand)
+                assignment.pop()
+
+    backtrack(0)
+    return count
+
+
+def bruteforce_induced_count(graph: Graph, pattern: Pattern) -> int:
+    """Distinct vertex-induced embeddings = induced assignments / |Aut|."""
+    total = count_induced_assignments(graph, pattern)
+    aut = automorphism_count(pattern)
+    q, r = divmod(total, aut)
+    if r:
+        raise AssertionError(
+            f"induced assignment count {total} not divisible by |Aut|={aut} — "
+            "the brute-force induced matcher is broken"
+        )
+    return q
+
+
+def count_directed_assignments(digraph, pattern) -> int:
+    """Directed analogue of :func:`count_assignments`: arcs must map to arcs."""
+    n = pattern.n_vertices
+    if n > digraph.n_vertices:
+        return 0
+    arcs = pattern.arcs
+    assignment: list[int] = []
+    used: set[int] = set()
+    count = 0
+
+    def backtrack(v: int) -> None:
+        nonlocal count
+        if v == n:
+            count += 1
+            return
+        for cand in range(digraph.n_vertices):
+            if cand in used:
+                continue
+            ok = True
+            for prev in range(v):
+                if pattern.has_arc(prev, v) and not digraph.has_arc(assignment[prev], cand):
+                    ok = False
+                    break
+                if pattern.has_arc(v, prev) and not digraph.has_arc(cand, assignment[prev]):
+                    ok = False
+                    break
+            if ok:
+                assignment.append(cand)
+                used.add(cand)
+                backtrack(v + 1)
+                used.remove(cand)
+                assignment.pop()
+
+    backtrack(0)
+    return count
+
+
+def bruteforce_directed_count(digraph, pattern) -> int:
+    """Distinct directed embeddings = assignments / |directed Aut|."""
+    from repro.pattern.directed import directed_automorphism_count
+
+    total = count_directed_assignments(digraph, pattern)
+    aut = directed_automorphism_count(pattern)
+    q, r = divmod(total, aut)
+    if r:
+        raise AssertionError(
+            f"directed assignment count {total} not divisible by |Aut|={aut} — "
+            "the brute-force directed matcher is broken"
+        )
+    return q
+
+
+def bruteforce_enumerate(graph: Graph, pattern: Pattern) -> Iterator[tuple[int, ...]]:
+    """Yield each distinct embedding once (minimal orbit representative),
+    as a tuple indexed by pattern vertex."""
+    n = pattern.n_vertices
+    if n > graph.n_vertices:
+        return
+    auts = automorphisms(pattern)
+    assignment: list[int] = []
+    used: set[int] = set()
+
+    def backtrack(v: int) -> Iterator[tuple[int, ...]]:
+        if v == n:
+            emb = tuple(assignment)
+            images = [tuple(emb[sigma[u]] for u in range(n)) for sigma in auts]
+            if emb == min(images):
+                yield emb
+            return
+        for cand in range(graph.n_vertices):
+            if cand in used:
+                continue
+            ok = all(
+                graph.has_edge(assignment[prev], cand)
+                for prev in range(v)
+                if pattern.has_edge(prev, v)
+            )
+            if ok:
+                assignment.append(cand)
+                used.add(cand)
+                yield from backtrack(v + 1)
+                used.remove(cand)
+                assignment.pop()
+
+    yield from backtrack(0)

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Mirrors the GraphPi binary's ergonomics — feed it a pattern and a data
+graph, get counts — plus introspection commands for the preprocessing
+pipeline.
+
+Commands
+--------
+count    count embeddings of a pattern in a dataset/edge-list file
+         (--induced for vertex-induced semantics, --approx N for the
+         sampling estimator)
+plan     show the preprocessing decisions (restrictions, schedule, model)
+motifs   run a k-motif census (--induced converts the census)
+datasets list the built-in dataset proxies
+patterns list the built-in patterns
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.api import PatternMatcher
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import NAMED_PATTERNS, get_pattern, paper_patterns
+from repro.utils.tables import Table, format_seconds
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="wiki-vote",
+                        help="proxy dataset name (see `datasets`)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="proxy scale factor (default 0.2)")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--edge-list", default=None, metavar="PATH",
+                        help="load a real edge-list file instead of a proxy")
+
+
+def _load_graph(args):
+    if args.edge_list:
+        return load_dataset(args.dataset, path=args.edge_list)
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def cmd_count(args) -> int:
+    graph = _load_graph(args)
+    pattern = get_pattern(args.pattern)
+    print(f"graph:   {graph}")
+    print(f"pattern: {pattern.name or pattern!r} "
+          f"({pattern.n_vertices} vertices, {pattern.n_edges} edges)")
+
+    if args.approx:
+        from repro.approx.sampling import approximate_count
+
+        t0 = time.perf_counter()
+        res = approximate_count(graph, pattern, n_samples=args.approx, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(f"estimate: {res.estimate:.6g}  "
+              f"[{res.ci_low:.6g}, {res.ci_high:.6g}] at 95% "
+              f"({res.hits}/{res.n_samples} hits)")
+        print(f"time:     {format_seconds(elapsed)}")
+        return 0
+
+    if args.induced:
+        from repro.core.induced import induced_count
+
+        t0 = time.perf_counter()
+        count = induced_count(graph, pattern, method="engine")
+        elapsed = time.perf_counter() - t0
+        print("semantics: vertex-induced (AutoMine/GraphZero definition)")
+        print(f"count:   {count}")
+        print(f"time:    {format_seconds(elapsed)}")
+        return 0
+
+    matcher = PatternMatcher(pattern)
+    t0 = time.perf_counter()
+    report = matcher.plan(graph, use_iep=not args.no_iep)
+    count = matcher.count(graph, report=report)
+    elapsed = time.perf_counter() - t0
+    print(f"config:  {report.chosen.config.describe()}")
+    if report.plan.iep_k:
+        print(f"IEP:     innermost {report.plan.iep_k} loops")
+    print(f"count:   {count}")
+    print(f"time:    {format_seconds(elapsed)} "
+          f"(preprocessing {format_seconds(report.seconds_total)})")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    graph = _load_graph(args)
+    pattern = get_pattern(args.pattern)
+    matcher = PatternMatcher(pattern)
+    report = matcher.plan(graph, use_iep=not args.no_iep)
+    print(report.describe())
+    print(f"\ngraph stats: {report.stats.describe()}")
+    print(f"\nrestriction sets ({len(report.restriction_sets)}):")
+    for rs in report.restriction_sets[:10]:
+        print("  ", ", ".join(f"id({g})>id({s})" for g, s in sorted(rs)) or "(none)")
+    if len(report.restriction_sets) > 10:
+        print(f"   ... and {len(report.restriction_sets) - 10} more")
+    print("\ntop 5 configurations by predicted cost:")
+    for r in report.ranking[:5]:
+        print(f"   {r.predicted_cost:12.4g}  {r.config.describe()}")
+    if args.show_code and report.generated is not None:
+        print("\ngenerated code:\n")
+        print(report.generated.source)
+    return 0
+
+
+def cmd_motifs(args) -> int:
+    from repro.mining.motifs import induced_motif_census, motif_census
+
+    graph = _load_graph(args)
+    t0 = time.perf_counter()
+    if args.induced:
+        census = induced_motif_census(graph, args.k)
+    else:
+        census = motif_census(graph, args.k, use_iep=not args.no_iep)
+    elapsed = time.perf_counter() - t0
+    semantics = "vertex-induced" if args.induced else "edge-induced"
+    table = Table(["motif", "edges", "count"],
+                  title=f"{args.k}-motif census ({semantics}) of "
+                        f"{graph.name or 'graph'} ({format_seconds(elapsed)})")
+    for m in census:
+        table.add_row([m.pattern.name, m.pattern.n_edges, m.count])
+    print(table.render())
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    table = Table(["name", "paper |V|", "paper |E|", "description"],
+                  title="built-in dataset proxies (Table I)")
+    for name, spec in DATASETS.items():
+        table.add_row([name, spec.paper_vertices, spec.paper_edges, spec.description])
+    print(table.render())
+    return 0
+
+
+def cmd_patterns(_args) -> int:
+    table = Table(["name", "vertices", "edges"], title="built-in patterns")
+    for name in sorted(NAMED_PATTERNS):
+        p = NAMED_PATTERNS[name]()
+        table.add_row([name, p.n_vertices, p.n_edges])
+    for name, p in paper_patterns().items():
+        table.add_row([name, p.n_vertices, p.n_edges])
+    table.add_row(["clique-K / cycle-K / path-K / star-K", "parametric", ""])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphPi reproduction: graph pattern matching with "
+                    "effective redundancy elimination (SC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_count = sub.add_parser("count", help="count embeddings")
+    p_count.add_argument("--pattern", default="house")
+    p_count.add_argument("--no-iep", action="store_true")
+    p_count.add_argument("--induced", action="store_true",
+                         help="vertex-induced semantics (AutoMine/GraphZero)")
+    p_count.add_argument("--approx", type=int, default=0, metavar="N",
+                         help="ASAP-style sampling estimate with N trials")
+    _add_graph_args(p_count)
+    p_count.set_defaults(func=cmd_count)
+
+    p_plan = sub.add_parser("plan", help="show preprocessing decisions")
+    p_plan.add_argument("--pattern", default="house")
+    p_plan.add_argument("--no-iep", action="store_true")
+    p_plan.add_argument("--show-code", action="store_true")
+    _add_graph_args(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_motifs = sub.add_parser("motifs", help="k-motif census")
+    p_motifs.add_argument("--k", type=int, default=3)
+    p_motifs.add_argument("--no-iep", action="store_true")
+    p_motifs.add_argument("--induced", action="store_true",
+                          help="vertex-induced census (Möbius-converted)")
+    _add_graph_args(p_motifs)
+    p_motifs.set_defaults(func=cmd_motifs)
+
+    sub.add_parser("datasets", help="list dataset proxies").set_defaults(
+        func=cmd_datasets
+    )
+    sub.add_parser("patterns", help="list built-in patterns").set_defaults(
+        func=cmd_patterns
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

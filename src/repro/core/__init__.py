@@ -1,0 +1,117 @@
+"""GraphPi's core: restrictions, schedules, cost model, engine, IEP, API.
+
+This package is the paper's primary contribution.  The flow matches
+Figure 3: restriction-set generator + schedule generator →
+configurations → performance model → code generation → execution.
+"""
+
+from repro.core.restrictions import (
+    Restriction,
+    RestrictionGenerator,
+    RestrictionSet,
+    generate_restriction_sets,
+    no_conflict,
+    restriction_overcount_factor,
+    surviving_permutations,
+    validate_restriction_set,
+)
+from repro.core.schedule import (
+    Schedule,
+    all_schedules,
+    dedup_schedules,
+    generate_schedules,
+    has_independent_suffix,
+    independent_suffix_size,
+    intersection_free_suffix_length,
+    is_connected_prefix,
+    schedule_dependencies,
+)
+from repro.core.config import (
+    Configuration,
+    ExecutionPlan,
+    compile_plan,
+    enumerate_configurations,
+)
+from repro.core.engine import Engine, count_embeddings, enumerate_embeddings
+from repro.core.iep import (
+    IEPCounter,
+    count_distinct_tuples,
+    count_distinct_tuples_pairs,
+    partition_coefficient,
+    set_partitions,
+)
+from repro.core.perf_model import (
+    CostBreakdown,
+    PerformanceModel,
+    RankedConfiguration,
+    cost_breakdown,
+    estimate_cost,
+    filter_probabilities,
+)
+from repro.core.codegen import GeneratedCounter, compile_plan_function, generate_source
+from repro.core.labeled import (
+    LabeledEngine,
+    LabeledMatcher,
+    labeled_count,
+    labeled_restriction_sets,
+)
+from repro.core.perf_model_ext import (
+    ExtendedGraphStats,
+    ExtendedPerformanceModel,
+    estimate_cost_ext,
+    four_cycle_count,
+)
+from repro.core.api import PatternMatcher, PlanReport, count_pattern, match_pattern
+
+__all__ = [
+    "LabeledEngine",
+    "LabeledMatcher",
+    "labeled_count",
+    "labeled_restriction_sets",
+    "ExtendedGraphStats",
+    "ExtendedPerformanceModel",
+    "estimate_cost_ext",
+    "four_cycle_count",
+    "Restriction",
+    "RestrictionGenerator",
+    "RestrictionSet",
+    "generate_restriction_sets",
+    "no_conflict",
+    "restriction_overcount_factor",
+    "surviving_permutations",
+    "validate_restriction_set",
+    "Schedule",
+    "all_schedules",
+    "dedup_schedules",
+    "generate_schedules",
+    "has_independent_suffix",
+    "independent_suffix_size",
+    "intersection_free_suffix_length",
+    "is_connected_prefix",
+    "schedule_dependencies",
+    "Configuration",
+    "ExecutionPlan",
+    "compile_plan",
+    "enumerate_configurations",
+    "Engine",
+    "count_embeddings",
+    "enumerate_embeddings",
+    "IEPCounter",
+    "count_distinct_tuples",
+    "count_distinct_tuples_pairs",
+    "partition_coefficient",
+    "set_partitions",
+    "CostBreakdown",
+    "PerformanceModel",
+    "RankedConfiguration",
+    "cost_breakdown",
+    "estimate_cost",
+    "filter_probabilities",
+    "GeneratedCounter",
+    "compile_plan_function",
+    "generate_source",
+    "PatternMatcher",
+    "PlanReport",
+    "count_pattern",
+    "match_pattern",
+]

@@ -1,0 +1,224 @@
+"""Public API: plan and run pattern matching the GraphPi way.
+
+The paper's user contract (§III): *"Users only need to input a pattern
+and a data graph in the form of adjacency lists to run GraphPi."*  The
+equivalent here:
+
+>>> from repro import PatternMatcher, load_dataset, get_pattern
+>>> g = load_dataset("wiki-vote", scale=0.2)
+>>> matcher = PatternMatcher(get_pattern("house"))
+>>> matcher.count(g)                # counting (IEP-accelerated)
+>>> matcher.count(g, use_iep=False) # plain enumeration count
+>>> list(matcher.match(g, limit=5)) # list embeddings
+
+``PatternMatcher.plan`` exposes the whole preprocessing pipeline —
+restriction-set generation (Algorithm 1), 2-phase schedule generation,
+performance-model ranking, code generation — together with its timings
+(Table III measures exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.codegen import GeneratedCounter, compile_plan_function
+from repro.core.config import Configuration, ExecutionPlan, enumerate_configurations
+from repro.core.engine import Engine
+from repro.core.perf_model import PerformanceModel, RankedConfiguration
+from repro.core.restrictions import RestrictionSet, generate_restriction_sets
+from repro.core.schedule import generate_schedules, independent_suffix_size
+from repro.graph.csr import Graph
+from repro.graph.stats import GraphStats
+from repro.pattern.pattern import Pattern
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Everything preprocessing produced, plus wall-clock timings."""
+
+    pattern: Pattern
+    stats: GraphStats
+    restriction_sets: tuple[RestrictionSet, ...]
+    n_schedules: int
+    ranking: tuple[RankedConfiguration, ...]
+    chosen: RankedConfiguration
+    generated: GeneratedCounter | None
+    seconds_restrictions: float
+    seconds_schedules: float
+    seconds_model: float
+    seconds_codegen: float
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.chosen.plan
+
+    @property
+    def seconds_total(self) -> float:
+        return (
+            self.seconds_restrictions
+            + self.seconds_schedules
+            + self.seconds_model
+            + self.seconds_codegen
+        )
+
+    def describe(self) -> str:
+        c = self.chosen
+        return (
+            f"pattern={self.pattern.name or self.pattern!r} "
+            f"{len(self.restriction_sets)} restriction sets x "
+            f"{self.n_schedules} schedules -> {len(self.ranking)} configurations; "
+            f"chose {c.config.describe()} (predicted cost {c.predicted_cost:.3g}); "
+            f"preprocessing {self.seconds_total * 1e3:.1f} ms"
+        )
+
+
+class PatternMatcher:
+    """Plans and executes matching of one pattern on data graphs.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern to match; must be connected.
+    max_restriction_sets:
+        Cap on Algorithm 1's enumeration.  Patterns with large
+        automorphism groups generate thousands of valid sets (3 072 for
+        a 7-vertex near-clique) and each must be scored against every
+        schedule; the default of 64 keeps preprocessing sub-second in
+        pure Python while retaining plenty of choice.  Pass ``None``
+        for the unbounded paper behaviour.
+    dedup_schedules:
+        Collapse automorphism-equivalent schedules before ranking
+        (halves-to-quarters the model's work without changing the
+        optimum; see ``repro.core.schedule.dedup_schedules``).
+    use_codegen:
+        Execute via generated specialised code (the paper's approach)
+        instead of the interpreter.
+    """
+
+    DEFAULT_MAX_RESTRICTION_SETS = 64
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        *,
+        max_restriction_sets: int | None = DEFAULT_MAX_RESTRICTION_SETS,
+        dedup_schedules: bool = True,
+        use_codegen: bool = True,
+    ):
+        if not pattern.is_connected():
+            raise ValueError("pattern matching requires a connected pattern")
+        self.pattern = pattern
+        self.max_restriction_sets = max_restriction_sets
+        self.dedup_schedules = dedup_schedules
+        self.use_codegen = use_codegen
+        self._restriction_cache: list[RestrictionSet] | None = None
+        self._schedule_cache: list | None = None
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+    def restriction_sets(self) -> list[RestrictionSet]:
+        if self._restriction_cache is None:
+            self._restriction_cache = generate_restriction_sets(
+                self.pattern, max_sets=self.max_restriction_sets
+            )
+        return self._restriction_cache
+
+    def schedules(self) -> list:
+        if self._schedule_cache is None:
+            self._schedule_cache = generate_schedules(
+                self.pattern, dedup_automorphic=self.dedup_schedules
+            )
+        return self._schedule_cache
+
+    def plan(
+        self,
+        graph: Graph | None = None,
+        *,
+        stats: GraphStats | None = None,
+        use_iep: bool = False,
+        codegen: bool | None = None,
+    ) -> PlanReport:
+        """Run the full preprocessing pipeline and pick a configuration.
+
+        Provide either a graph (stats are computed) or precomputed
+        ``stats``.  ``use_iep`` asks the model to score configurations
+        with the innermost independent loops replaced by IEP.
+        """
+        if stats is None:
+            if graph is None:
+                raise ValueError("plan() needs a graph or precomputed GraphStats")
+            stats = GraphStats.of(graph)
+
+        with Timer() as t_res:
+            res_sets = self.restriction_sets()
+        with Timer() as t_sched:
+            schedules = self.schedules()
+        with Timer() as t_model:
+            configs = enumerate_configurations(self.pattern, schedules, res_sets)
+            model = PerformanceModel(stats)
+            iep_k = independent_suffix_size(self.pattern) if use_iep else 0
+            ranking = model.rank(configs, iep_k=iep_k)
+        chosen = ranking[0]
+        generated = None
+        do_codegen = self.use_codegen if codegen is None else codegen
+        with Timer() as t_gen:
+            if do_codegen:
+                generated = compile_plan_function(chosen.plan)
+        return PlanReport(
+            pattern=self.pattern,
+            stats=stats,
+            restriction_sets=tuple(res_sets),
+            n_schedules=len(schedules),
+            ranking=tuple(ranking),
+            chosen=chosen,
+            generated=generated,
+            seconds_restrictions=t_res.elapsed,
+            seconds_schedules=t_sched.elapsed,
+            seconds_model=t_model.elapsed,
+            seconds_codegen=t_gen.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        graph: Graph,
+        *,
+        use_iep: bool = True,
+        report: PlanReport | None = None,
+    ) -> int:
+        """Count distinct embeddings of the pattern in ``graph``."""
+        rep = report or self.plan(graph, use_iep=use_iep)
+        if rep.generated is not None:
+            return rep.generated(graph)
+        return Engine(graph, rep.plan).count()
+
+    def match(
+        self,
+        graph: Graph,
+        *,
+        limit: int | None = None,
+        report: PlanReport | None = None,
+    ):
+        """Yield embeddings as tuples indexed by pattern vertex."""
+        rep = report or self.plan(graph, use_iep=False)
+        plan = rep.plan
+        if plan.iep_k:
+            plan = rep.chosen.config.compile(iep_k=0)
+        return Engine(graph, plan).enumerate_embeddings(limit=limit)
+
+
+# ---------------------------------------------------------------------------
+# module-level one-shots
+# ---------------------------------------------------------------------------
+def count_pattern(graph: Graph, pattern: Pattern, *, use_iep: bool = True, **kwargs) -> int:
+    """One-shot: plan + count."""
+    return PatternMatcher(pattern, **kwargs).count(graph, use_iep=use_iep)
+
+
+def match_pattern(graph: Graph, pattern: Pattern, *, limit: int | None = None, **kwargs):
+    """One-shot: plan + enumerate embeddings."""
+    return PatternMatcher(pattern, **kwargs).match(graph, limit=limit)

@@ -1,0 +1,145 @@
+"""Calibrating the cost model's abstract units into wall-clock seconds.
+
+The paper's model (§IV-C) is deliberately *relative*: it ranks
+configurations, and ranking only needs consistent units.  Two practical
+workflows need absolute predictions too:
+
+* budgeting — "is exact counting or ASAP-style sampling cheaper for my
+  target error?" (the comparison `repro.approx.elp` sets up);
+* simulator feeding — the Figure-12 cluster simulator replays per-task
+  costs; a calibrated model can *predict* them for unseen patterns.
+
+The abstract cost sums two kinds of work the host machine prices very
+differently in pure Python:
+
+* per-iteration loop overhead (the ``LOOP_OVERHEAD`` term) — Python
+  interpreter time per DFS node;
+* per-element intersection work (the ``c_i`` terms) — NumPy merge
+  throughput, orders of magnitude cheaper per unit.
+
+:func:`calibrate` measures both constants with micro-probes on the
+actual machine (a tight engine loop over a seeded graph; a set of
+sorted-array merges), and :class:`CalibratedModel` applies them to any
+plan's cost breakdown.  Predictions are order-of-magnitude tools, not
+stopwatches — the tests pin ranking preservation and a generous absolute
+band, which is exactly how such a calibration is usable in practice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Configuration, ExecutionPlan
+from repro.core.engine import Engine
+from repro.core.perf_model import LOOP_OVERHEAD, cost_breakdown
+from repro.graph.generators import erdos_renyi
+from repro.graph.intersection import intersect
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import triangle
+
+
+@dataclass(frozen=True)
+class HostConstants:
+    """Measured per-unit costs of this host (seconds per unit)."""
+
+    seconds_per_iteration: float
+    seconds_per_merge_element: float
+
+    def describe(self) -> str:
+        return (
+            f"loop iteration ≈ {self.seconds_per_iteration * 1e6:.2f} µs, "
+            f"merge element ≈ {self.seconds_per_merge_element * 1e9:.1f} ns"
+        )
+
+
+def _probe_merge_throughput(rng: np.random.Generator) -> float:
+    """Seconds per element of sorted-merge intersection input."""
+    size = 20_000
+    a = np.unique(rng.integers(0, 10 * size, size=size).astype(np.int64))
+    b = np.unique(rng.integers(0, 10 * size, size=size).astype(np.int64))
+    rounds = 30
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        intersect(a, b)
+    elapsed = time.perf_counter() - t0
+    return elapsed / (rounds * (len(a) + len(b)))
+
+
+def _probe_loop_overhead() -> float:
+    """Seconds per DFS iteration of the interpreting engine.
+
+    Runs the triangle count on a seeded ER graph and divides by the
+    model's own iteration estimate for that plan — self-consistency is
+    the point: the constant absorbs everything the abstract unit hides.
+    """
+    graph = erdos_renyi(400, 0.05, seed=7)
+    pattern = triangle()
+    config = Configuration(
+        pattern, (0, 1, 2), frozenset({(1, 0), (2, 1)})
+    )
+    plan = config.compile()
+    stats = GraphStats.of(graph)
+    breakdown = cost_breakdown(plan, stats)
+    t0 = time.perf_counter()
+    Engine(graph, plan).count()
+    elapsed = time.perf_counter() - t0
+    # subtract nothing: at this density merge work is negligible next to
+    # interpreter overhead, so the whole abstract cost prices iterations.
+    return elapsed / max(breakdown.total, 1.0)
+
+
+def calibrate(seed: int = 2020) -> HostConstants:
+    """Measure this host's constants (a few hundred ms of probing)."""
+    rng = np.random.default_rng(seed)
+    return HostConstants(
+        seconds_per_iteration=_probe_loop_overhead(),
+        seconds_per_merge_element=_probe_merge_throughput(rng),
+    )
+
+
+class CalibratedModel:
+    """The §IV-C model with measured per-unit prices attached.
+
+    ``predict_seconds`` splits a plan's cost recursion into iteration
+    units and merge-element units, pricing each with the host constants.
+    Ranking by predicted seconds coincides with the abstract model's
+    ranking whenever merge and iteration work scale together (they do
+    within one pattern's configuration space), so this is a strict
+    refinement for cross-pattern/absolute questions.
+    """
+
+    def __init__(self, stats: GraphStats, constants: HostConstants | None = None):
+        self.stats = stats
+        self.constants = constants or calibrate()
+
+    def predict_seconds(self, plan: ExecutionPlan) -> float:
+        breakdown = cost_breakdown(plan, self.stats)
+        n = plan.n
+        ls, fs, cs = breakdown.loop_sizes, breakdown.filter_probs, breakdown.intersection_costs
+
+        n_loops = plan.n_loops
+        iter_cost = 0.0  # abstract iteration units
+        merge_cost = 0.0  # abstract merge-element units
+
+        # Mirror the recursion, accumulating the two unit kinds
+        # separately: visits(i) = ∏_{j<i} l_j (1-f_j).
+        visits = 1.0
+        for i in range(n_loops):
+            iterations = visits * ls[i] * (1.0 - fs[i])
+            iter_cost += iterations * LOOP_OVERHEAD
+            merge_cost += visits * cs[i]
+            visits = iterations
+        if plan.iep_k > 0:
+            for i in range(n_loops, n):
+                merge_cost += visits * (cs[i] + ls[i])
+                iter_cost += visits * LOOP_OVERHEAD
+        return (
+            iter_cost * self.constants.seconds_per_iteration
+            + merge_cost * self.constants.seconds_per_merge_element
+        )
+
+    def predict_config_seconds(self, config: Configuration, iep_k: int = 0) -> float:
+        return self.predict_seconds(config.compile(iep_k=iep_k))

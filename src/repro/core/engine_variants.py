@@ -1,0 +1,72 @@
+"""Engine variants ablating where restriction bounds are applied.
+
+The stock :class:`repro.core.engine.Engine` mirrors the paper's generated
+code: candidate sets are intersected *in full* (and hoisted/cached across
+inner loops, like ``tmpAB`` in Fig. 5(b)), then restriction bounds slice
+the result.  An algebraic identity makes another placement possible::
+
+    bound(A ∩ B) == bound(A) ∩ bound(B)
+
+so the bounds can be pushed *into* the intersection inputs.  The
+difference is not cosmetic:
+
+* **slice-after** (paper / stock engine) pays the full ``|A| + |B|``
+  merge but can cache the unsliced intersection across sibling loops
+  (the bounds change per iteration, the raw intersection does not);
+* **slice-before** (:class:`PreSliceEngine`) merges only the bounded
+  sub-arrays — for restriction chains over dense sub-patterns (cliques)
+  combined with a degeneracy id order, the bounded inputs shrink from
+  ``max_degree`` to the graph's degeneracy — but every loop iteration
+  re-intersects (the cache key would have to include the bounds, whose
+  hit rate is ~0).
+
+Which placement wins is data- and pattern-dependent; the orientation
+ablation bench (``bench_ablation_orientation.py``) measures the
+crossover.  Counts are provably identical (the identity above), pinned
+by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.graph.intersection import bounded_slice, intersect_many
+
+
+class PreSliceEngine(Engine):
+    """Engine applying restriction bounds to intersection *inputs*.
+
+    Same plans, same results; only the evaluation order of bound-and-
+    intersect changes (see module docstring).  The single-slot raw
+    cache of the stock engine is bypassed — pre-sliced inputs vary with
+    the bound values, which change every iteration.
+    """
+
+    def candidates(self, depth: int, assigned: Sequence[int]) -> np.ndarray:
+        plan = self.plan
+        lo: int | None = None
+        for j in plan.lower[depth]:
+            v = assigned[j]
+            if lo is None or v > lo:
+                lo = v
+        hi: int | None = None
+        for j in plan.upper[depth]:
+            v = assigned[j]
+            if hi is None or v < hi:
+                hi = v
+
+        deps = plan.deps[depth]
+        if not deps:
+            cand = self._all_vertices
+            if lo is not None or hi is not None:
+                cand = bounded_slice(cand, lo, hi)
+            return cand
+        arrays = [self.graph.neighbors(assigned[j]) for j in deps]
+        if lo is not None or hi is not None:
+            arrays = [bounded_slice(a, lo, hi) for a in arrays]
+        if len(arrays) == 1:
+            return arrays[0]
+        return intersect_many(arrays)

@@ -1,0 +1,259 @@
+"""Labeled pattern matching: GraphPi's machinery + label constraints.
+
+The pipeline is the unlabeled one with three changes:
+
+1. **Restrictions** come from the *label-preserving* automorphism
+   subgroup (:func:`repro.pattern.labeled.labeled_automorphisms`) — a
+   restriction between differently-labeled vertices would be meaningless
+   (they can never swap) and one derived from a label-breaking symmetry
+   would wrongly discard embeddings.  Algorithm 1 is reused by running
+   its recursion on the labeled subgroup.
+2. **Candidates** are filtered by label at every depth (a vectorised
+   mask on the sorted candidate array, preserving sortedness).
+3. **The cost model**'s loop sizes shrink by the label frequency; we
+   scale l_i by the data-graph frequency of the wanted label — the
+   obvious estimator, and enough to rank configurations.
+
+IEP counting composes untouched: the inner candidate sets are
+label-filtered before the partition formula runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Configuration, ExecutionPlan, compile_plan
+from repro.core.engine import Engine
+from repro.core.iep import IEPCounter
+from repro.core.perf_model import PerformanceModel
+from repro.core.restrictions import (
+    NonUniformOvercountError,
+    RestrictionSet,
+    surviving_permutations,
+)
+from repro.core.schedule import generate_schedules, intersection_free_suffix_length
+from repro.graph.labeled import LabeledGraph
+from repro.graph.stats import GraphStats
+from repro.pattern.labeled import LabeledPattern, labeled_automorphisms
+from repro.pattern.permutation import is_identity
+
+
+def labeled_restriction_sets(lp: LabeledPattern, *, max_sets: int | None = 64
+                             ) -> list[RestrictionSet]:
+    """Algorithm 1 on the label-preserving automorphism subgroup."""
+    group = labeled_automorphisms(lp)
+    if len(group) == 1:
+        return [frozenset()]
+
+    results: list[RestrictionSet] = []
+    seen: set[RestrictionSet] = set()
+
+    def recurse(pg, res_set: RestrictionSet) -> None:
+        if max_sets is not None and len(results) >= max_sets:
+            return
+        if len(pg) <= 1:
+            if _validate_labeled(lp, res_set, len(group)):
+                results.append(res_set)
+            return
+        for perm in pg:
+            if is_identity(perm):
+                continue
+            for vertex, image in enumerate(perm):
+                if image == vertex or perm[image] != vertex:
+                    continue
+                new_set = frozenset(res_set | {(vertex, image)})
+                if new_set in seen:
+                    continue
+                seen.add(new_set)
+                recurse(surviving_permutations(pg, new_set), new_set)
+                if max_sets is not None and len(results) >= max_sets:
+                    return
+
+    recurse(group, frozenset())
+    if not results:
+        raise RuntimeError(f"no valid labeled restriction set for {lp!r}")
+    return sorted(set(results), key=lambda rs: (len(rs), sorted(rs)))
+
+
+def _validate_labeled(lp: LabeledPattern, res_set: RestrictionSet, group_order: int) -> bool:
+    """Complete-graph validation against the labeled subgroup.
+
+    On K_n with *matching labels per orbit* every labeled assignment in
+    an orbit of the labeled subgroup is an embedding; the restricted
+    count per orbit must be exactly one.  Enumerating rank orderings and
+    checking per-coset satisfaction mirrors the unlabeled validator but
+    against the labeled subgroup's cosets.
+    """
+    from itertools import permutations as _perms
+
+    n = lp.n_vertices
+    group = labeled_automorphisms(lp)
+    satisfied_per_coset: dict[tuple, int] = {}
+    for ranks in _perms(range(n)):
+        coset = min(tuple(ranks[sigma[v]] for v in range(n)) for sigma in group)
+        ok = all(ranks[g] > ranks[s] for g, s in res_set)
+        satisfied_per_coset[coset] = satisfied_per_coset.get(coset, 0) + (1 if ok else 0)
+    counts = set(satisfied_per_coset.values())
+    return counts == {1}
+
+
+class LabeledIEPCounter(IEPCounter):
+    """IEP evaluator whose inner candidate sets are label-filtered.
+
+    §IV-D composes with labels untouched: the partition formula works on
+    arbitrary finite sets, so filtering each inner candidate array to
+    the wanted label *before* the formula runs is all that changes.  The
+    overcount divisor must come from the *labeled* subgroup (handled at
+    compile time via ``compile_plan(..., auts=labeled_automorphisms)``).
+    """
+
+    def __init__(self, lgraph: LabeledGraph, plan: ExecutionPlan,
+                 lpattern: LabeledPattern):
+        super().__init__(lgraph.graph, plan)
+        self.lgraph = lgraph
+        schedule = plan.config.schedule
+        self._inner_labels = tuple(
+            lpattern.labels[schedule[pos]] for pos in self._inner_positions
+        )
+
+    def _inner_sets(self, assigned):
+        sets = super()._inner_sets(assigned)
+        return [
+            self.lgraph.filter_by_label(arr, label)
+            for arr, label in zip(sets, self._inner_labels)
+        ]
+
+
+class LabeledEngine(Engine):
+    """The nested-loop engine with per-depth label filtering."""
+
+    def __init__(self, lgraph: LabeledGraph, plan: ExecutionPlan,
+                 lpattern: LabeledPattern):
+        super().__init__(lgraph.graph, plan)
+        self.lgraph = lgraph
+        # wanted label per depth = label of the pattern vertex scheduled there
+        schedule = plan.config.schedule
+        self._depth_labels = tuple(lpattern.labels[v] for v in schedule)
+        if plan.iep_k > 0:
+            self._iep = LabeledIEPCounter(lgraph, plan, lpattern)
+
+    def candidates(self, depth, assigned):
+        cand = super().candidates(depth, assigned)
+        return self.lgraph.filter_by_label(cand, self._depth_labels[depth])
+
+
+@dataclass(frozen=True)
+class LabeledPlanReport:
+    configuration: Configuration
+    plan: ExecutionPlan
+    predicted_cost: float
+    n_restriction_sets: int
+    n_schedules: int
+
+
+class LabeledMatcher:
+    """Plan + execute labeled pattern matching."""
+
+    def __init__(self, lpattern: LabeledPattern, *, max_restriction_sets: int | None = 64):
+        if not lpattern.pattern.is_connected():
+            raise ValueError("pattern must be connected")
+        self.lpattern = lpattern
+        self._rsets = labeled_restriction_sets(lpattern, max_sets=max_restriction_sets)
+        self._schedules = generate_schedules(lpattern.pattern)
+
+    def plan(self, lgraph: LabeledGraph, *, use_iep: bool = False) -> LabeledPlanReport:
+        stats = GraphStats.of(lgraph.graph)
+        model = PerformanceModel(stats)
+        hist = lgraph.label_histogram()
+        n = max(1, lgraph.n_vertices)
+
+        best = None
+        for schedule in self._schedules:
+            # Label-frequency weight: product of per-depth frequencies
+            # scales every loop size, so it scales total cost.
+            weight = 1.0
+            for v in schedule:
+                weight *= hist.get(self.lpattern.labels[v], 0) / n
+            for rs in self._rsets:
+                config = Configuration(self.lpattern.pattern, schedule, rs)
+                plan = config.compile()
+                from repro.core.perf_model import estimate_cost
+
+                cost = estimate_cost(plan, stats) * max(weight, 1e-12)
+                if best is None or cost < best[0]:
+                    best = (cost, config, plan)
+        assert best is not None
+        cost, config, plan = best
+        if use_iep:
+            # Recompile the winner with the largest uniform-overcount IEP
+            # suffix; the divisor group is the *labeled* subgroup, whose
+            # symmetry our restriction sets break.
+            group = labeled_automorphisms(self.lpattern)
+            iep_k = intersection_free_suffix_length(
+                self.lpattern.pattern, config.schedule
+            )
+            while iep_k > 0:
+                try:
+                    plan = compile_plan(config, iep_k=iep_k, auts=group)
+                    break
+                except NonUniformOvercountError:
+                    iep_k -= 1  # k = 1 drops nothing, so this terminates
+        return LabeledPlanReport(
+            configuration=config,
+            plan=plan,
+            predicted_cost=cost,
+            n_restriction_sets=len(self._rsets),
+            n_schedules=len(self._schedules),
+        )
+
+    def count(self, lgraph: LabeledGraph, *, use_iep: bool = False) -> int:
+        report = self.plan(lgraph, use_iep=use_iep)
+        return LabeledEngine(lgraph, report.plan, self.lpattern).count()
+
+    def match(self, lgraph: LabeledGraph, *, limit: int | None = None):
+        report = self.plan(lgraph)
+        engine = LabeledEngine(lgraph, report.plan, self.lpattern)
+        return engine.enumerate_embeddings(limit=limit)
+
+
+def labeled_count(lgraph: LabeledGraph, lpattern: LabeledPattern) -> int:
+    """One-shot labeled counting."""
+    return LabeledMatcher(lpattern).count(lgraph)
+
+
+def labeled_bruteforce_count(lgraph: LabeledGraph, lpattern: LabeledPattern) -> int:
+    """Oracle for tests: naive backtracking, divided by the labeled |Aut|."""
+    n = lpattern.n_vertices
+    graph = lgraph.graph
+    if n > graph.n_vertices:
+        return 0
+    pattern = lpattern.pattern
+    assignment: list[int] = []
+    used: set[int] = set()
+    total = 0
+
+    def backtrack(v: int) -> None:
+        nonlocal total
+        if v == n:
+            total += 1
+            return
+        for cand in range(graph.n_vertices):
+            if cand in used or lgraph.label_of(cand) != lpattern.labels[v]:
+                continue
+            if all(
+                graph.has_edge(assignment[p], cand)
+                for p in range(v)
+                if pattern.has_edge(p, v)
+            ):
+                assignment.append(cand)
+                used.add(cand)
+                backtrack(v + 1)
+                used.remove(cand)
+                assignment.pop()
+
+    backtrack(0)
+    aut = len(labeled_automorphisms(lpattern))
+    q, r = divmod(total, aut)
+    if r:
+        raise AssertionError("labeled assignment count not divisible by labeled |Aut|")
+    return q

@@ -1,0 +1,355 @@
+"""Algorithm 1: 2-cycle based automorphism elimination (§IV-A).
+
+A *restriction* is an ordered pair ``(g, s)`` of pattern vertices meaning
+``id(g) > id(s)`` — the data vertex bound to ``g`` must have a larger id
+than the one bound to ``s``.  A *restriction set* eliminates redundancy
+when, for every embedding, exactly one member of its automorphism orbit
+satisfies all restrictions.
+
+GraphPi's contribution (vs. GraphZero) is generating **all** minimal
+restriction sets instead of a single one, because different sets prune
+the DFS tree at different loop depths and differ several-fold in cost.
+
+The algorithm mirrors the paper exactly:
+
+1. enumerate the automorphism group ``pg`` of the pattern;
+2. recursively: pick any 2-cycle ``(a b)`` occurring in any surviving
+   permutation, branch on adding the restriction ``id(a) > id(b)``
+   (both orientations arise because the scan visits both ``a`` and
+   ``b``);
+3. drop every permutation that the enlarged set now *eliminates* — a
+   permutation ``p`` is eliminated iff the directed graph containing
+   edges ``g→s`` and ``p(g)→p(s)`` for every restriction has a cycle
+   (``no_conflict``, lines 24–29);
+4. when only the identity survives, ``validate`` the set by counting on
+   an n-vertex complete graph: with restrictions the count must be
+   ``n!/|Aut|`` (lines 19–23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations as _permutations
+from math import factorial
+
+from repro.pattern.automorphism import automorphisms
+from repro.pattern.pattern import Pattern
+from repro.pattern.permutation import Perm, is_identity
+
+#: ``(g, s)`` means ``id(g) > id(s)``.
+Restriction = tuple[int, int]
+RestrictionSet = frozenset[Restriction]
+
+
+def no_conflict(perm: Perm, res_set: frozenset[Restriction] | set[Restriction]) -> bool:
+    """True iff ``perm`` is *not* eliminated by ``res_set``.
+
+    Paper lines 24–29: build a directed graph with edges
+    ``(g → s)`` and ``(perm[g] → perm[s])`` for each restriction; the
+    permutation survives iff the graph is acyclic.
+
+    Intuition: if an embedding ``e`` satisfies the restrictions, its
+    automorphic image under ``perm`` satisfies them too only when the
+    combined ordering constraints are consistent (acyclic).  A cycle
+    means at most one of the pair {e, perm·e} can ever satisfy the set,
+    i.e. the permutation's redundancy is eliminated.
+    """
+    edges: set[tuple[int, int]] = set()
+    vertices: set[int] = set()
+    for g, s in res_set:
+        edges.add((g, s))
+        edges.add((perm[g], perm[s]))
+        vertices.update((g, s, perm[g], perm[s]))
+    # Kahn's algorithm for acyclicity on this tiny digraph.
+    indeg = {v: 0 for v in vertices}
+    out: dict[int, list[int]] = {v: [] for v in vertices}
+    for a, b in edges:
+        out[a].append(b)
+        indeg[b] += 1
+    queue = [v for v in vertices if indeg[v] == 0]
+    visited = 0
+    while queue:
+        v = queue.pop()
+        visited += 1
+        for w in out[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    return visited == len(vertices)
+
+
+def surviving_permutations(
+    perms: list[Perm], res_set: frozenset[Restriction] | set[Restriction]
+) -> list[Perm]:
+    """The subset of ``perms`` not eliminated by ``res_set``."""
+    return [p for p in perms if no_conflict(p, res_set)]
+
+
+def validate_restriction_set(
+    pattern: Pattern, res_set: RestrictionSet, *, auts: list[Perm] | None = None
+) -> bool:
+    """Line 20's ``validate``: exact counting check on the complete graph.
+
+    On K_n every injective assignment of pattern vertices to the n data
+    vertices is an embedding, so the unrestricted count is n! and each
+    orbit has exactly ``|Aut|`` members.  The set is correct iff the
+    restricted count equals ``n!/|Aut|`` — i.e. exactly one orbit member
+    satisfies the restrictions.
+
+    We count directly over rank assignments instead of running the
+    matcher: an assignment is a permutation ``ranks`` with
+    ``ranks[v]`` = id of the data vertex bound to pattern vertex ``v``.
+
+    ``auts`` overrides the automorphism group — the directed extension
+    passes the directed subgroup (on the complete *digraph* every
+    injective assignment of a directed pattern is likewise an embedding,
+    so the identity ``count == n!/|Aut|`` carries over verbatim).
+    """
+    n = pattern.n_vertices
+    if auts is None:
+        auts = automorphisms(pattern)
+    expected, remainder = divmod(factorial(n), len(auts))
+    if remainder:  # |Aut| divides n! by Lagrange's theorem
+        raise AssertionError("automorphism count must divide n!")
+    ranks = _rank_matrix(n)
+    mask = None
+    for g, s in res_set:
+        cond = ranks[:, g] > ranks[:, s]
+        mask = cond if mask is None else mask & cond
+    count = len(ranks) if mask is None else int(mask.sum())
+    return count == expected
+
+
+_rank_matrices: dict[int, "object"] = {}
+
+
+def _rank_matrix(n: int):
+    """All n! rank assignments as an (n!, n) int8 array (cached)."""
+    import numpy as np
+
+    if n not in _rank_matrices:
+        if n > 9:
+            raise ValueError("pattern too large for factorial enumeration")
+        _rank_matrices[n] = np.array(list(_permutations(range(n))), dtype=np.int8)
+    return _rank_matrices[n]
+
+
+@dataclass
+class RestrictionGenerator:
+    """Algorithm 1 driver with memoised branch exploration.
+
+    The paper's recursion revisits identical partial restriction sets
+    through different permutation orders; ``_seen`` collapses those.
+    ``max_sets`` caps the enumeration for patterns with huge automorphism
+    groups (a 7-clique has 5 040), exactly like a production system
+    would bound preprocessing.
+    """
+
+    pattern: Pattern
+    validate: bool = True
+    max_sets: int | None = None
+    #: Override the automorphism group (the directed extension passes the
+    #: direction-preserving subgroup; ``None`` = the full undirected group).
+    auts: list[Perm] | None = None
+    _seen: set[RestrictionSet] = field(default_factory=set, repr=False)
+    _results: list[RestrictionSet] = field(default_factory=list, repr=False)
+
+    def generate(self) -> list[RestrictionSet]:
+        """All (deduplicated) restriction sets that reduce Aut to identity."""
+        self._seen.clear()
+        self._results.clear()
+        perms = self.auts if self.auts is not None else automorphisms(self.pattern)
+        if len(perms) == 1:
+            # Asymmetric pattern: the empty set is already complete.
+            return [frozenset()]
+        self._generate(perms, frozenset())
+        # Deterministic order: smaller sets first, then lexicographic.
+        uniq = sorted(set(self._results), key=lambda rs: (len(rs), sorted(rs)))
+        return uniq
+
+    # -- the recursive `generate` of Algorithm 1 -------------------------
+    def _generate(self, pg: list[Perm], res_set: RestrictionSet) -> None:
+        if self.max_sets is not None and len(self._results) >= self.max_sets:
+            return
+        if len(pg) <= 1:
+            # Only the identity survives; keep the set if it validates.
+            if not self.validate or validate_restriction_set(
+                self.pattern, res_set, auts=self.auts
+            ):
+                self._results.append(res_set)
+            return
+        found_2cycle = False
+        for perm in pg:
+            if is_identity(perm):
+                continue
+            for vertex, image in enumerate(perm):
+                # line 11: a 2-cycle — vertex == perm[perm[vertex]],
+                # excluding fixed points.
+                if image == vertex or perm[image] != vertex:
+                    continue
+                found_2cycle = True
+                new_set = frozenset(res_set | {(vertex, image)})
+                if new_set in self._seen:
+                    continue
+                self._seen.add(new_set)
+                remaining = surviving_permutations(pg, new_set)
+                self._generate(remaining, new_set)
+                if self.max_sets is not None and len(self._results) >= self.max_sets:
+                    return
+        if not found_2cycle:
+            self._generate_orbit_anchor(pg, res_set)
+
+    def _generate_orbit_anchor(self, pg: list[Perm], res_set: RestrictionSet) -> None:
+        """Fallback when no surviving permutation contains a 2-cycle.
+
+        The paper's scan (lines 9–12) assumes some survivor exposes a
+        2-cycle, which holds for the full automorphism group of every
+        undirected pattern it evaluates — but *subgroups* can be 2-cycle
+        free: the direction-preserving group of a directed n-cycle is the
+        pure rotation group C_n, whose non-identity elements are single
+        n-cycles.  (§II-A claims the directed extension is easy; this is
+        the one genuine gap.)
+
+        The classic orbit-anchoring step of symmetry breaking
+        [Grochow–Kellis] covers it: pick a vertex ``v`` in a non-trivial
+        orbit of the surviving group and force it to carry the minimum id
+        of the orbit — restrictions ``id(u) > id(v)`` for every other
+        orbit member ``u``.  Any survivor moving ``v`` to some ``u`` is
+        then eliminated (``no_conflict`` sees the 2-edge cycle
+        ``u → v`` / ``v → u``), so the group strictly shrinks and the
+        recursion terminates.  Each anchor choice yields a different
+        candidate set, preserving GraphPi's multiple-sets property;
+        ``validate`` still gates final acceptance.
+        """
+        from repro.pattern.automorphism import orbits
+
+        for orbit in orbits(pg):
+            if len(orbit) <= 1:
+                continue
+            for v in orbit:
+                new_set = frozenset(res_set | {(u, v) for u in orbit if u != v})
+                if new_set in self._seen:
+                    continue
+                self._seen.add(new_set)
+                remaining = surviving_permutations(pg, new_set)
+                if len(remaining) >= len(pg):  # pragma: no cover - defensive
+                    continue
+                self._generate(remaining, new_set)
+                if self.max_sets is not None and len(self._results) >= self.max_sets:
+                    return
+
+
+def generate_restriction_sets(
+    pattern: Pattern, *, validate: bool = True, max_sets: int | None = None
+) -> list[RestrictionSet]:
+    """Convenience wrapper for :class:`RestrictionGenerator`.
+
+    Returns at least one set for any pattern (the empty set when the
+    pattern is asymmetric).
+    """
+    sets = RestrictionGenerator(pattern, validate=validate, max_sets=max_sets).generate()
+    if not sets:
+        raise RuntimeError(
+            f"Algorithm 1 produced no valid restriction set for {pattern!r}; "
+            "this should be impossible for a finite permutation group"
+        )
+    return sets
+
+
+def restriction_overcount_factor(pattern: Pattern, res_set) -> int:
+    """How many automorphisms survive ``res_set`` (the `no_conflict` count).
+
+    This is the quantity §IV-D *describes* for the IEP division, but it
+    is only an upper bound on the true per-embedding multiplicity (for
+    the triangle with one kept restriction it yields 5 where the true
+    factor is 3).  The engine therefore uses
+    :func:`iep_overcount_multiplicity` instead; this function is kept
+    for the paper-fidelity tests that document the discrepancy.
+    """
+    perms = automorphisms(pattern)
+    return len(surviving_permutations(perms, frozenset(res_set)))
+
+
+class NonUniformOvercountError(ValueError):
+    """Raised when a partial restriction set over/under-counts unevenly.
+
+    If the number of orbit members satisfying the kept restrictions is
+    not the same for every embedding, no constant divisor can correct
+    the IEP total; the caller must shrink the IEP suffix (``iep_k``)
+    until the dropped set is empty.
+    """
+
+
+_multiplicity_cache: dict[tuple, int] = {}
+
+
+def iep_overcount_multiplicity(pattern: Pattern, kept_set, *, auts=None) -> int:
+    """Exact per-embedding multiplicity under a *partial* restriction set.
+
+    Every embedding's automorphism orbit corresponds to a coset
+    ``{ranks∘σ : σ ∈ Aut}`` of rank bijections; the IEP total counts each
+    embedding once per orbit member satisfying ``kept_set``.  This
+    function enumerates all n! rank bijections (n ≤ 9 for patterns),
+    groups them into cosets via a canonical code, and returns the
+    satisfying count per coset — verifying it is the same for every
+    coset (else :class:`NonUniformOvercountError`).
+
+    A complete valid set yields 1; the empty set yields ``|Aut|``.
+
+    ``auts`` overrides the group (the directed extension passes the
+    direction-preserving subgroup — the coset argument only needs *a*
+    group acting on the vertices, not specifically the undirected one).
+    """
+    import numpy as np
+
+    kept = frozenset(kept_set)
+    key = (
+        pattern._adj_bits,
+        kept,
+        None if auts is None else tuple(tuple(a) for a in auts),
+    )
+    if key in _multiplicity_cache:
+        return _multiplicity_cache[key]
+
+    n = pattern.n_vertices
+    if auts is None:
+        auts = automorphisms(pattern)
+    if not kept:
+        _multiplicity_cache[key] = len(auts)
+        return len(auts)
+
+    ranks = np.array(list(_permutations(range(n))), dtype=np.int64)
+    sat = np.ones(len(ranks), dtype=bool)
+    for g, s in kept:
+        sat &= ranks[:, g] > ranks[:, s]
+
+    # Canonical coset code: the lexicographic minimum of the encoded rows
+    # {ranks∘σ}; (ranks∘σ)[v] = ranks[σ[v]] is a column permutation.
+    weights = (np.int64(n) ** np.arange(n - 1, -1, -1)).astype(np.int64)
+    canon = None
+    for sigma in auts:
+        codes = ranks[:, list(sigma)] @ weights
+        canon = codes if canon is None else np.minimum(canon, codes)
+
+    uniq, inverse = np.unique(canon, return_inverse=True)
+    per_coset = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(per_coset, inverse[sat], 1)
+    lo, hi = int(per_coset.min()), int(per_coset.max())
+    if lo != hi:
+        raise NonUniformOvercountError(
+            f"kept restrictions {sorted(kept)} give per-orbit multiplicities "
+            f"in [{lo}, {hi}] for pattern {pattern.name or pattern!r}; "
+            "no constant IEP divisor exists"
+        )
+    _multiplicity_cache[key] = lo
+    return lo
+
+
+def check_restrictions_applicable(pattern: Pattern, res_set) -> None:
+    """Validate vertex indices and irreflexivity of a user-supplied set."""
+    n = pattern.n_vertices
+    for g, s in res_set:
+        if not (0 <= g < n and 0 <= s < n):
+            raise ValueError(f"restriction ({g},{s}) references a vertex outside 0..{n - 1}")
+        if g == s:
+            raise ValueError(f"restriction ({g},{s}) is reflexive")

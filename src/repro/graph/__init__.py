@@ -1,0 +1,75 @@
+"""Graph substrate: CSR storage, set algebra, generators, datasets, stats.
+
+This package is the data-graph half of the system: everything the
+matching engine needs from the input graph lives here, with no knowledge
+of patterns or schedules.
+"""
+
+from repro.graph.csr import Graph
+from repro.graph.builder import (
+    GraphBuilder,
+    build_graph_arrays,
+    graph_from_adjacency_matrix,
+    graph_from_edges,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    random_power_law,
+    watts_strogatz,
+)
+from repro.graph.io import (
+    load_binary,
+    load_edge_list,
+    load_or_build,
+    save_binary,
+    save_edge_list,
+)
+from repro.graph.stats import (
+    GraphStats,
+    degree_histogram,
+    global_clustering,
+    triangle_count,
+    wedge_count,
+)
+from repro.graph.labeled import LabeledGraph, assign_random_labels
+from repro.graph.datasets import (
+    DATASETS,
+    SINGLE_NODE_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "LabeledGraph",
+    "assign_random_labels",
+    "Graph",
+    "GraphBuilder",
+    "build_graph_arrays",
+    "graph_from_adjacency_matrix",
+    "graph_from_edges",
+    "barabasi_albert",
+    "chung_lu",
+    "complete_graph",
+    "empty_graph",
+    "erdos_renyi",
+    "random_power_law",
+    "watts_strogatz",
+    "load_binary",
+    "load_edge_list",
+    "load_or_build",
+    "save_binary",
+    "save_edge_list",
+    "GraphStats",
+    "degree_histogram",
+    "global_clustering",
+    "triangle_count",
+    "wedge_count",
+    "DATASETS",
+    "SINGLE_NODE_DATASETS",
+    "dataset_names",
+    "load_dataset",
+]

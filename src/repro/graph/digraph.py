@@ -1,0 +1,244 @@
+"""Directed graph storage: dual CSR (out- and in-adjacency).
+
+The paper (§II-A) scopes its presentation to undirected graphs but
+asserts *"all methods proposed in this paper can be easily extended to
+directed and labeled graphs"*.  This module provides the directed data
+substrate for that extension (:mod:`repro.core.directed` builds the
+matching machinery on top).
+
+Layout follows the undirected :class:`repro.graph.csr.Graph` exactly —
+sorted, duplicate-free neighbour rows so that candidate sets remain
+sorted-array intersections — but keeps *two* CSR structures, because a
+directed pattern edge constrains a candidate through either the
+out-neighbourhood or the in-neighbourhood of an already-bound vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.intersection import VERTEX_DTYPE, contains
+
+
+def _csr_from_sorted(rows: np.ndarray, cols: np.ndarray, n: int):
+    """CSR arrays from (row, col) pairs pre-sorted by (row, col)."""
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, cols.astype(VERTEX_DTYPE)
+
+
+def _check_rows_sorted(indptr: np.ndarray, indices: np.ndarray, what: str) -> None:
+    if len(indices) > 1:
+        diffs = np.diff(indices)
+        row_starts = indptr[1:-1]
+        boundary = row_starts[(row_starts > 0) & (row_starts < len(indices))]
+        interior = np.ones(len(diffs), dtype=bool)
+        interior[boundary - 1] = False
+        if np.any(diffs[interior] <= 0):
+            raise ValueError(f"{what} rows must be strictly increasing (sorted, no dups)")
+
+
+@dataclass(frozen=True)
+class DiGraph:
+    """An immutable directed graph with sorted out- and in-adjacency.
+
+    ``out_indptr``/``out_indices`` hold, per vertex, its successors;
+    ``in_indptr``/``in_indices`` its predecessors.  The two structures
+    describe the same arc set (validated at construction).  Antiparallel
+    arc pairs u→v, v→u are two distinct arcs; self-loops are rejected.
+    """
+
+    out_indptr: np.ndarray
+    out_indices: np.ndarray
+    in_indptr: np.ndarray
+    in_indices: np.ndarray
+    name: str = ""
+
+    def __post_init__(self):
+        for attr in ("out_indptr", "out_indices", "in_indptr", "in_indices"):
+            arr = np.ascontiguousarray(getattr(self, attr), dtype=np.int64)
+            object.__setattr__(self, attr, arr)
+        if len(self.out_indptr) != len(self.in_indptr):
+            raise ValueError("out and in structures must agree on vertex count")
+        for indptr, indices, what in (
+            (self.out_indptr, self.out_indices, "out"),
+            (self.in_indptr, self.in_indices, "in"),
+        ):
+            if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(indices):
+                raise ValueError(f"malformed {what}_indptr")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError(f"{what}_indptr must be non-decreasing")
+            n = len(indptr) - 1
+            if len(indices) and (indices.min() < 0 or indices.max() >= n):
+                raise ValueError(f"{what} neighbour index out of range")
+            _check_rows_sorted(indptr, indices, what)
+        if len(self.out_indices) != len(self.in_indices):
+            raise ValueError("out and in structures must hold the same number of arcs")
+        # Arc-set equality: the (u → v) pairs of the out structure must be
+        # exactly the (v ← u) pairs of the in structure.
+        n = self.n_vertices
+        out_src = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.out_indptr)
+        )
+        if np.any(out_src == self.out_indices):
+            raise ValueError("self-loops are not allowed")
+        in_dst = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.in_indptr))
+        out_keys = np.sort(out_src * np.int64(max(n, 1)) + self.out_indices)
+        in_keys = np.sort(self.in_indices * np.int64(max(n, 1)) + in_dst)
+        if not np.array_equal(out_keys, in_keys):
+            raise ValueError("out- and in-adjacency describe different arc sets")
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.out_indptr) - 1
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self.out_indices)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        return self.out_indices[self.out_indptr[v] : self.out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        return int(self.out_indptr[v + 1] - self.out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        return int(self.in_indptr[v + 1] - self.in_indptr[v])
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """True iff the arc u → v exists."""
+        return contains(self.out_neighbors(u), v)
+
+    def vertices(self) -> np.ndarray:
+        return np.arange(self.n_vertices, dtype=VERTEX_DTYPE)
+
+    def arcs(self) -> Iterable[tuple[int, int]]:
+        for u in range(self.n_vertices):
+            for v in self.out_neighbors(u):
+                yield u, int(v)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_undirected(self) -> Graph:
+        """Collapse arc directions (antiparallel pairs merge into one edge)."""
+        from repro.graph.builder import graph_from_edges
+        from repro.graph.generators import empty_graph, _pad_isolated
+
+        edges = list(self.arcs())
+        if not edges:
+            return empty_graph(self.n_vertices, name=self.name)
+        g = graph_from_edges(edges, name=self.name)
+        if g.n_vertices < self.n_vertices:
+            g = _pad_isolated(g, self.n_vertices)
+        return g
+
+    @classmethod
+    def from_undirected(cls, graph: Graph, name: str = "") -> "DiGraph":
+        """Symmetric digraph: every undirected edge becomes both arcs.
+
+        On such a digraph directed matching degenerates predictably
+        (each undirected embedding contributes a fixed number of
+        orientations) — the cross-check the directed tests rely on.
+        """
+        # The undirected CSR already stores each edge in both rows sorted;
+        # out- and in-adjacency coincide.
+        return cls(
+            out_indptr=graph.indptr,
+            out_indices=graph.indices,
+            in_indptr=graph.indptr,
+            in_indices=graph.indices,
+            name=name or graph.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name!r}, " if self.name else ""
+        return f"DiGraph({label}{self.n_vertices} vertices, {self.n_arcs} arcs)"
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+def digraph_from_edges(
+    edges: Iterable[tuple[int, int]],
+    *,
+    n_vertices: int | None = None,
+    name: str = "",
+) -> DiGraph:
+    """Build a :class:`DiGraph` from (source, target) arc pairs.
+
+    Self-loops are dropped, duplicate arcs deduplicated.  Vertex ids are
+    used as-is (no compaction): pass ``n_vertices`` to include trailing
+    isolated vertices.
+    """
+    pairs = [(int(u), int(v)) for u, v in edges]
+    src = np.array([u for u, _ in pairs], dtype=np.int64)
+    dst = np.array([v for _, v in pairs], dtype=np.int64)
+    if len(src) and (src.min() < 0 or dst.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    n_seen = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    n = n_seen if n_vertices is None else int(n_vertices)
+    if n < n_seen:
+        raise ValueError(f"n_vertices={n} but edge list references vertex {n_seen - 1}")
+    if len(src):
+        key = src * np.int64(n) + dst
+        _, first = np.unique(key, return_index=True)
+        src, dst = src[first], dst[first]
+    order = np.lexsort((dst, src))
+    out_indptr, out_indices = _csr_from_sorted(src[order], dst[order], n)
+    order_in = np.lexsort((src, dst))
+    in_indptr, in_indices = _csr_from_sorted(dst[order_in], src[order_in], n)
+    return DiGraph(out_indptr, out_indices, in_indptr, in_indices, name=name)
+
+
+def random_digraph(n: int, p: float, seed=None, name: str = "") -> DiGraph:
+    """Directed Erdős–Rényi: each ordered pair (u, v), u ≠ v, is an arc
+    independently with probability ``p``."""
+    if not 0 <= p <= 1:
+        raise ValueError(f"probability p={p} out of [0, 1]")
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    return digraph_from_edges(
+        zip(src.tolist(), dst.tolist()), n_vertices=n, name=name or f"gnp-d({n},{p})"
+    )
+
+
+def price_citation_graph(
+    n: int, out_degree: int = 3, seed=None, name: str = ""
+) -> DiGraph:
+    """Price's preferential-attachment citation model.
+
+    Vertex t arrives with ``out_degree`` arcs pointing to earlier
+    vertices, chosen proportionally to (in-degree + 1).  Produces the
+    skewed in-degree distribution of citation/follower networks — the
+    directed analogue of the power-law data graphs in Table I, and the
+    data generator behind the directed example.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    indeg = np.zeros(n, dtype=np.float64)
+    for t in range(1, n):
+        k = min(out_degree, t)
+        weights = indeg[:t] + 1.0
+        targets = rng.choice(t, size=k, replace=False, p=weights / weights.sum())
+        for v in targets:
+            edges.append((t, int(v)))
+            indeg[v] += 1
+    return digraph_from_edges(edges, n_vertices=n, name=name or f"price({n},{out_degree})")

@@ -1,0 +1,309 @@
+"""Seeded synthetic graph generators.
+
+The evaluation graphs of the paper (Table I) are real SNAP datasets we
+cannot ship; ``repro.graph.datasets`` builds scaled-down *proxies* out of
+the generators here.  Everything is NumPy-vectorised and deterministic
+given a seed.
+
+Generators:
+
+* ``erdos_renyi``      — G(n, p) via geometric edge skipping (O(E)).
+* ``barabasi_albert``  — preferential attachment; power-law degrees.
+* ``chung_lu``         — expected-degree model; lets us dial in an exact
+  degree-skew profile (used for the social-network proxies).
+* ``watts_strogatz``   — ring lattice + rewiring; high clustering
+  (used for the Patents/citation proxy where triangles abound).
+* ``complete_graph``   — K_n (the restriction-set validator uses it).
+* ``random_power_law`` — Chung–Lu with Zipf weights; one-knob skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import build_graph_arrays
+from repro.graph.csr import Graph
+from repro.graph.intersection import VERTEX_DTYPE
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def complete_graph(n: int, name: str = "") -> Graph:
+    """K_n — every pair of distinct vertices is adjacent."""
+    check_positive(n, "n")
+    indptr = np.arange(0, n * n, n - 1, dtype=np.int64) if n > 1 else np.zeros(2, np.int64)
+    indptr = np.arange(n + 1, dtype=np.int64) * (n - 1)
+    rows = []
+    base = np.arange(n, dtype=VERTEX_DTYPE)
+    for v in range(n):
+        rows.append(np.delete(base, v))
+    indices = np.concatenate(rows) if n > 1 else np.empty(0, dtype=VERTEX_DTYPE)
+    return Graph(indptr, indices, name=name or f"K{n}")
+
+
+def empty_graph(n: int, name: str = "") -> Graph:
+    """n isolated vertices (edgeless)."""
+    check_positive(n, "n", strict=False)
+    return Graph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=VERTEX_DTYPE), name=name)
+
+
+def erdos_renyi(n: int, p: float, seed=None, name: str = "") -> Graph:
+    """G(n, p) random graph.
+
+    Samples the (n choose 2) possible edges with geometric gap skipping,
+    so the cost is O(#edges) not O(n^2).
+    """
+    check_positive(n, "n")
+    check_probability(p, "p")
+    rng = make_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if p == 0.0 or total_pairs == 0:
+        return empty_graph(n, name=name or f"ER({n},{p})")
+    if p == 1.0:
+        return complete_graph(n, name=name or f"ER({n},1)")
+    # Geometric skipping over the linearised upper-triangle index space.
+    picks = []
+    idx = -1
+    log1p = np.log1p(-p)
+    while True:
+        # Draw batch of geometric gaps for speed.
+        gaps = np.floor(np.log1p(-rng.random(4096)) / log1p).astype(np.int64) + 1
+        for g in gaps:
+            idx += int(g)
+            if idx >= total_pairs:
+                break
+            picks.append(idx)
+        if idx >= total_pairs:
+            break
+    if not picks:
+        return empty_graph(n, name=name or f"ER({n},{p})")
+    lin = np.asarray(picks, dtype=np.int64)
+    # Invert the linear index: u is the largest row with offset(u) <= lin.
+    # offset(u) = u*n - u*(u+1)/2 for pairs (u, v) with v > u.
+    u = np.empty(len(lin), dtype=np.int64)
+    lo = np.zeros(len(lin), dtype=np.int64)
+    hi = np.full(len(lin), n - 1, dtype=np.int64)
+    while np.any(lo < hi):
+        mid = (lo + hi + 1) // 2
+        offset = mid * n - mid * (mid + 1) // 2
+        go_up = offset <= lin
+        lo = np.where(go_up, mid, lo)
+        hi = np.where(go_up, hi, mid - 1)
+    u = lo
+    offset = u * n - u * (u + 1) // 2
+    v = lin - offset + u + 1
+    graph, _ = build_graph_arrays(u, v, compact_ids=False, name=name or f"ER({n},{p})")
+    return _pad_isolated(graph, n)
+
+
+def barabasi_albert(n: int, m: int, seed=None, name: str = "") -> Graph:
+    """Preferential attachment: each new vertex attaches to ``m`` targets.
+
+    Produces the heavy-tailed degree distribution typical of the social
+    graphs in Table I (LiveJournal, Orkut, Twitter).
+    """
+    check_positive(n, "n")
+    check_positive(m, "m")
+    if m >= n:
+        raise ValueError(f"m={m} must be < n={n}")
+    rng = make_rng(seed)
+    src: list[int] = []
+    dst: list[int] = []
+    # repeated_nodes implements roulette-wheel selection by degree.
+    repeated: list[int] = list(range(m))
+    for new in range(m, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = repeated[rng.integers(0, len(repeated))] if repeated else int(
+                rng.integers(0, new)
+            )
+            targets.add(int(pick))
+        for t in targets:
+            src.append(new)
+            dst.append(t)
+            repeated.append(t)
+        repeated.extend([new] * m)
+    graph, _ = build_graph_arrays(
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        compact_ids=False,
+        name=name or f"BA({n},{m})",
+    )
+    return _pad_isolated(graph, n)
+
+
+def chung_lu(weights: np.ndarray, seed=None, name: str = "") -> Graph:
+    """Chung–Lu expected-degree random graph.
+
+    Edge {u, v} appears with probability ``min(1, w_u w_v / W)``.  Uses
+    the standard O(E) sampling by sorted weights.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or len(weights) == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    rng = make_rng(seed)
+    n = len(weights)
+    order = np.argsort(-weights, kind="stable")
+    w = weights[order]
+    total = w.sum()
+    src: list[int] = []
+    dst: list[int] = []
+    if total <= 0:
+        return empty_graph(n, name=name)
+    for i in range(n - 1):
+        if w[i] == 0:
+            break
+        j = i + 1
+        p = min(1.0, w[i] * w[j] / total) if j < n else 0.0
+        while j < n:
+            if p < 1.0 and p > 0.0:
+                # Geometric skip to next candidate.
+                skip = int(np.floor(np.log(rng.random()) / np.log1p(-p)))
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, w[i] * w[j] / total)
+            if p <= 0.0:
+                break
+            if rng.random() < q / p:
+                src.append(int(order[i]))
+                dst.append(int(order[j]))
+            p = q
+            j += 1
+    graph, _ = build_graph_arrays(
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        compact_ids=False,
+        name=name or f"ChungLu(n={n})",
+    )
+    return _pad_isolated(graph, n)
+
+
+def random_power_law(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.5,
+    seed=None,
+    name: str = "",
+) -> Graph:
+    """Chung–Lu graph with Zipf-like weights w_i ∝ i^(-1/(exponent-1)).
+
+    ``avg_degree`` scales the weights so the expected mean degree matches.
+    """
+    check_positive(n, "n")
+    check_positive(avg_degree, "avg_degree")
+    if exponent <= 1.0:
+        raise ValueError("power-law exponent must be > 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-1.0 / (exponent - 1.0))
+    w *= avg_degree * n / w.sum()
+    # Cap weights to avoid p > 1 saturation distorting the mean.
+    cap = np.sqrt(w.sum())
+    np.minimum(w, cap, out=w)
+    rng = make_rng(seed)
+    perm = rng.permutation(n)  # decouple vertex id from weight rank
+    return chung_lu(w[perm], seed=rng, name=name or f"PL({n},{avg_degree},{exponent})")
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed=None, name: str = "") -> Graph:
+    """Ring lattice with ``k`` neighbours per side, rewired with prob. beta.
+
+    High clustering coefficient at low beta — a good stand-in for
+    citation-style graphs (Patents) where the IEP wins are moderate.
+    """
+    check_positive(n, "n")
+    check_positive(k, "k")
+    check_probability(beta, "beta")
+    if 2 * k >= n:
+        raise ValueError(f"need n > 2k, got n={n}, k={k}")
+    rng = make_rng(seed)
+    src: list[int] = []
+    dst: list[int] = []
+    existing: set[tuple[int, int]] = set()
+
+    def put(u: int, v: int) -> bool:
+        a, b = (u, v) if u < v else (v, u)
+        if a == b or (a, b) in existing:
+            return False
+        existing.add((a, b))
+        return True
+
+    for u in range(n):
+        for offset in range(1, k + 1):
+            v = (u + offset) % n
+            if rng.random() < beta:
+                w = int(rng.integers(0, n))
+                tries = 0
+                while not put(u, w) and tries < 16:
+                    w = int(rng.integers(0, n))
+                    tries += 1
+                if tries >= 16:
+                    put(u, v)
+            else:
+                put(u, v)
+    pairs = np.asarray(sorted(existing), dtype=VERTEX_DTYPE)
+    graph, _ = build_graph_arrays(
+        pairs[:, 0], pairs[:, 1], compact_ids=False, name=name or f"WS({n},{k},{beta})"
+    )
+    return _pad_isolated(graph, n)
+
+
+def _pad_isolated(graph: Graph, n: int) -> Graph:
+    """Extend ``graph`` with trailing isolated vertices up to ``n``."""
+    if graph.n_vertices >= n:
+        return graph
+    indptr = np.concatenate(
+        [graph.indptr, np.full(n - graph.n_vertices, graph.indptr[-1], dtype=np.int64)]
+    )
+    return Graph(indptr, graph.indices, name=graph.name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=None,
+    name: str = "",
+) -> Graph:
+    """R-MAT / Kronecker generator (Graph500 parameters by default).
+
+    Recursively drops ``edge_factor * 2^scale`` edges into the adjacency
+    matrix: at each of the ``scale`` levels the edge descends into one
+    quadrant with probabilities (a, b, c, d = 1-a-b-c).  The default
+    (0.57, 0.19, 0.19, 0.05) is the Graph500 standard and yields the
+    heavy-tailed, community-free skew typical of follower networks —
+    which is what the Twitter-class scalability proxy needs.
+
+    All levels are drawn vectorised (one (E, scale) quadrant matrix),
+    then deduplicated through the normal builder pipeline; the returned
+    simple graph therefore has at most the requested edge count.
+    """
+    check_positive(scale, "scale")
+    check_positive(edge_factor, "edge_factor")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise ValueError(f"R-MAT probabilities must be a partition: a={a} b={b} c={c} d={d:.3f}")
+    n = 1 << scale
+    n_edges = edge_factor * n
+    rng = make_rng(seed)
+    # quadrant choice per (edge, level): 0=TL, 1=TR, 2=BL, 3=BR
+    quadrants = rng.choice(4, size=(n_edges, scale), p=[a, b, c, d])
+    bit_src = (quadrants >> 1) & 1  # BL/BR descend into the lower half (row)
+    bit_dst = quadrants & 1  # TR/BR descend into the right half (col)
+    weights = (1 << np.arange(scale - 1, -1, -1)).astype(np.int64)
+    src = bit_src @ weights
+    dst = bit_dst @ weights
+    graph, _ = build_graph_arrays(
+        src.astype(VERTEX_DTYPE),
+        dst.astype(VERTEX_DTYPE),
+        compact_ids=False,
+        name=name or f"rmat-{scale}",
+    )
+    if graph.n_vertices < n:
+        graph = _pad_isolated(graph, n)
+    return graph

@@ -1,0 +1,18 @@
+"""Graph-mining applications layered on the GraphPi core.
+
+The motif census and clique counting exercise the public API the way
+the paper's motivating applications (4-motif on MiCo, 7-clique) do.
+"""
+
+from repro.mining.cliques import clique_count, clique_count_ordered, max_clique_lower_bound
+from repro.mining.motifs import MotifCount, classify_motif, motif_census, motif_frequencies
+
+__all__ = [
+    "clique_count",
+    "clique_count_ordered",
+    "max_clique_lower_bound",
+    "MotifCount",
+    "classify_motif",
+    "motif_census",
+    "motif_frequencies",
+]

@@ -1,0 +1,205 @@
+"""Directed patterns and their automorphism groups.
+
+Companion to :mod:`repro.graph.digraph`: the pattern side of the paper's
+claimed directed extension (§II-A).  A directed pattern is a small arc
+set on vertices 0..n-1; its automorphisms are the *direction-preserving*
+subgroup of the undirected skeleton's automorphism group, which is what
+Algorithm 1 needs to break directed symmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.pattern.automorphism import automorphisms as _skeleton_automorphisms
+from repro.pattern.pattern import Pattern
+from repro.pattern.permutation import Perm
+
+
+@dataclass(frozen=True, init=False)
+class DiPattern:
+    """A directed, unlabeled pattern graph on vertices 0..n-1.
+
+    Antiparallel arc pairs (u→v and v→u) are allowed and distinct;
+    self-loops are not.  ``skeleton()`` gives the underlying undirected
+    :class:`~repro.pattern.pattern.Pattern`, on which scheduling
+    (connectivity, independent suffixes) is defined — a schedule only
+    cares *that* two vertices interact, direction decides *which*
+    adjacency (out/in) supplies the candidate set.
+    """
+
+    n_vertices: int
+    _out_bits: tuple[int, ...]  # successor bitmask per vertex
+    name: str
+
+    def __init__(self, n_vertices: int, arcs: Iterable[tuple[int, int]], name: str = ""):
+        if n_vertices <= 0:
+            raise ValueError("a pattern needs at least one vertex")
+        bits = [0] * n_vertices
+        for u, v in arcs:
+            if not (0 <= u < n_vertices and 0 <= v < n_vertices):
+                raise ValueError(f"arc ({u},{v}) out of range for {n_vertices} vertices")
+            if u == v:
+                raise ValueError(f"self-loop ({u},{u}) not allowed in a pattern")
+            bits[u] |= 1 << v
+        object.__setattr__(self, "n_vertices", n_vertices)
+        object.__setattr__(self, "_out_bits", tuple(bits))
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def arcs(self) -> list[tuple[int, int]]:
+        out = []
+        for u in range(self.n_vertices):
+            mask = self._out_bits[u]
+            v = 0
+            while mask:
+                if mask & 1:
+                    out.append((u, v))
+                mask >>= 1
+                v += 1
+        return out
+
+    @property
+    def n_arcs(self) -> int:
+        return sum(bin(b).count("1") for b in self._out_bits)
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return bool(self._out_bits[u] >> v & 1)
+
+    def successors(self, v: int) -> list[int]:
+        mask = self._out_bits[v]
+        return [i for i in range(self.n_vertices) if mask >> i & 1]
+
+    def predecessors(self, v: int) -> list[int]:
+        return [u for u in range(self.n_vertices) if self._out_bits[u] >> v & 1]
+
+    def out_degree(self, v: int) -> int:
+        return bin(self._out_bits[v]).count("1")
+
+    def in_degree(self, v: int) -> int:
+        return len(self.predecessors(v))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def skeleton(self) -> Pattern:
+        """The underlying undirected pattern (antiparallel pairs merge)."""
+        edges = {(min(u, v), max(u, v)) for u, v in self.arcs}
+        return Pattern(self.n_vertices, sorted(edges), name=self.name)
+
+    def is_connected(self) -> bool:
+        """Weak connectivity (of the skeleton)."""
+        return self.skeleton().is_connected()
+
+    def relabel(self, perm: Sequence[int]) -> "DiPattern":
+        """Return the pattern with vertex i renamed to perm[i]."""
+        if sorted(perm) != list(range(self.n_vertices)):
+            raise ValueError(f"{perm!r} is not a permutation of the pattern vertices")
+        return DiPattern(
+            self.n_vertices, [(perm[u], perm[v]) for u, v in self.arcs], name=self.name
+        )
+
+    def reverse(self) -> "DiPattern":
+        """Flip every arc."""
+        return DiPattern(
+            self.n_vertices, [(v, u) for u, v in self.arcs], name=self.name
+        )
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"{self.n_vertices}v{self.n_arcs}a"
+        return f"DiPattern({label}, arcs={self.arcs})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DiPattern):
+            return NotImplemented
+        return self._out_bits == other._out_bits
+
+    def __hash__(self) -> int:
+        return hash(("di", self._out_bits))
+
+
+# ---------------------------------------------------------------------------
+# automorphisms
+# ---------------------------------------------------------------------------
+def directed_automorphisms(pattern: DiPattern) -> list[Perm]:
+    """All permutations p with (u → v) ∈ A ⟺ (p(u) → p(v)) ∈ A.
+
+    Computed by filtering the skeleton's automorphism group: any
+    direction-preserving bijection certainly preserves the skeleton, so
+    the directed group is the subgroup fixing arc orientations.
+    """
+    out = []
+    for perm in _skeleton_automorphisms(pattern.skeleton()):
+        if all(pattern.has_arc(perm[u], perm[v]) for u, v in pattern.arcs):
+            out.append(perm)
+    return out
+
+
+def directed_automorphism_count(pattern: DiPattern) -> int:
+    return len(directed_automorphisms(pattern))
+
+
+def is_directed_automorphism(pattern: DiPattern, perm: Sequence[int]) -> bool:
+    if sorted(perm) != list(range(pattern.n_vertices)):
+        return False
+    arcs = pattern.arcs
+    if len({perm[u] for u in range(pattern.n_vertices)}) != pattern.n_vertices:
+        return False
+    mapped = {(perm[u], perm[v]) for u, v in arcs}
+    return mapped == set(arcs)
+
+
+# ---------------------------------------------------------------------------
+# a small catalog of directed patterns used in tests and examples
+# ---------------------------------------------------------------------------
+def directed_cycle(n: int) -> DiPattern:
+    """The directed n-cycle 0 → 1 → … → n-1 → 0 (|Aut| = n rotations)."""
+    if n < 2:
+        raise ValueError("a directed cycle needs at least 2 vertices")
+    return DiPattern(n, [(i, (i + 1) % n) for i in range(n)], name=f"dicycle-{n}")
+
+
+def transitive_triangle() -> DiPattern:
+    """The transitive tournament on 3 vertices (asymmetric, |Aut| = 1)."""
+    return DiPattern(3, [(0, 1), (0, 2), (1, 2)], name="transitive-triangle")
+
+
+def directed_path(n: int) -> DiPattern:
+    """0 → 1 → … → n-1 (asymmetric for n ≥ 2)."""
+    if n < 2:
+        raise ValueError("a directed path needs at least 2 vertices")
+    return DiPattern(n, [(i, i + 1) for i in range(n - 1)], name=f"dipath-{n}")
+
+
+def out_star(n_leaves: int) -> DiPattern:
+    """Hub 0 with arcs to ``n_leaves`` leaves (|Aut| = n_leaves!)."""
+    if n_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    return DiPattern(
+        n_leaves + 1, [(0, i + 1) for i in range(n_leaves)], name=f"out-star-{n_leaves}"
+    )
+
+
+def feedforward_loop() -> DiPattern:
+    """The feed-forward loop (the transitive triangle under its common
+    systems-biology name): X → Y, X → Z, Y → Z."""
+    p = transitive_triangle()
+    return DiPattern(3, p.arcs, name="feedforward-loop")
+
+
+def bi_fan() -> DiPattern:
+    """The bi-fan motif: two sources 0,1 each pointing at two sinks 2,3."""
+    return DiPattern(4, [(0, 2), (0, 3), (1, 2), (1, 3)], name="bi-fan")
+
+
+def directed_clique(n: int) -> DiPattern:
+    """The complete digraph (all antiparallel pairs): |Aut| = n!."""
+    arcs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return DiPattern(n, arcs, name=f"diclique-{n}")

@@ -1,0 +1,188 @@
+"""The pattern type: a small undirected graph to be matched.
+
+Patterns are tiny (the paper evaluates 5–7 vertices; automorphism-group
+and schedule enumeration are factorial in this size), so the
+representation favours clarity over scale: a frozen adjacency-matrix
+bitset with convenience methods used across the scheduler, the
+restriction generator and the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, init=False)
+class Pattern:
+    """An undirected, unlabeled pattern graph on vertices 0..n-1."""
+
+    n_vertices: int
+    _adj_bits: tuple[int, ...]  # adjacency as per-vertex bitmasks
+    name: str
+
+    def __init__(self, n_vertices: int, edges: Iterable[tuple[int, int]], name: str = ""):
+        if n_vertices <= 0:
+            raise ValueError("a pattern needs at least one vertex")
+        bits = [0] * n_vertices
+        for u, v in edges:
+            if not (0 <= u < n_vertices and 0 <= v < n_vertices):
+                raise ValueError(f"edge ({u},{v}) out of range for {n_vertices} vertices")
+            if u == v:
+                raise ValueError(f"self-loop ({u},{u}) not allowed in a pattern")
+            bits[u] |= 1 << v
+            bits[v] |= 1 << u
+        object.__setattr__(self, "n_vertices", n_vertices)
+        object.__setattr__(self, "_adj_bits", tuple(bits))
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency_string(cls, n_vertices: int, bits: str, name: str = "") -> "Pattern":
+        """GraphPi's flat adjacency-string format: row-major 0/1 chars.
+
+        The GraphPi artifact describes patterns as ``(size, "0110...")``
+        with ``bits[i*n + j] == '1'`` iff edge (i, j) exists.
+        """
+        expected = n_vertices * n_vertices
+        if len(bits) != expected:
+            raise ValueError(f"adjacency string must have {expected} chars, got {len(bits)}")
+        edges = []
+        for i in range(n_vertices):
+            for j in range(i + 1, n_vertices):
+                a, b = bits[i * n_vertices + j], bits[j * n_vertices + i]
+                if a != b:
+                    raise ValueError(f"adjacency string not symmetric at ({i},{j})")
+                if a == "1":
+                    edges.append((i, j))
+                elif a != "0":
+                    raise ValueError(f"invalid character {a!r} in adjacency string")
+        return cls(n_vertices, edges, name=name)
+
+    @classmethod
+    def from_adjacency_matrix(cls, matrix: np.ndarray, name: str = "") -> "Pattern":
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        if not np.array_equal(matrix, matrix.T):
+            raise ValueError("adjacency matrix must be symmetric")
+        src, dst = np.nonzero(np.triu(matrix, k=1))
+        return cls(matrix.shape[0], list(zip(src.tolist(), dst.tolist())), name=name)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        out = []
+        for u in range(self.n_vertices):
+            mask = self._adj_bits[u] >> (u + 1)
+            v = u + 1
+            while mask:
+                if mask & 1:
+                    out.append((u, v))
+                mask >>= 1
+                v += 1
+        return out
+
+    @property
+    def n_edges(self) -> int:
+        return sum(bin(b).count("1") for b in self._adj_bits) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self._adj_bits[u] >> v & 1)
+
+    def neighbors(self, v: int) -> list[int]:
+        mask = self._adj_bits[v]
+        return [i for i in range(self.n_vertices) if mask >> i & 1]
+
+    def degree(self, v: int) -> int:
+        return bin(self._adj_bits[v]).count("1")
+
+    @property
+    def degrees(self) -> list[int]:
+        return [self.degree(v) for v in range(self.n_vertices)]
+
+    def adjacency_matrix(self) -> np.ndarray:
+        mat = np.zeros((self.n_vertices, self.n_vertices), dtype=np.int8)
+        for u, v in self.edges:
+            mat[u, v] = mat[v, u] = 1
+        return mat
+
+    # ------------------------------------------------------------------
+    # structure queries used by the scheduler
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Patterns must be connected for nested-loop matching."""
+        if self.n_vertices == 1:
+            return True
+        seen = 1  # bitmask, start from vertex 0
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            mask = self._adj_bits[v] & ~seen
+            while mask:
+                low = mask & -mask
+                u = low.bit_length() - 1
+                seen |= low
+                mask ^= low
+                frontier.append(u)
+        return seen == (1 << self.n_vertices) - 1
+
+    def is_independent_set(self, vertices: Sequence[int]) -> bool:
+        return all(
+            not self.has_edge(u, v) for u, v in combinations(vertices, 2)
+        )
+
+    def max_independent_set_size(self) -> int:
+        """k in §IV-B phase 2: the largest pairwise-nonadjacent vertex set."""
+        best = 1
+        for size in range(self.n_vertices, 1, -1):
+            for combo in combinations(range(self.n_vertices), size):
+                if self.is_independent_set(combo):
+                    return size
+        return best
+
+    def independent_sets_of_size(self, k: int) -> list[tuple[int, ...]]:
+        return [c for c in combinations(range(self.n_vertices), k) if self.is_independent_set(c)]
+
+    def relabel(self, perm: Sequence[int]) -> "Pattern":
+        """Return the pattern with vertex i renamed to perm[i]."""
+        if sorted(perm) != list(range(self.n_vertices)):
+            raise ValueError(f"{perm!r} is not a permutation of the pattern vertices")
+        edges = [(perm[u], perm[v]) for u, v in self.edges]
+        return Pattern(self.n_vertices, edges, name=self.name)
+
+    def to_graph(self):
+        """View this pattern as a data graph (used by the validator)."""
+        from repro.graph.builder import graph_from_edges
+        from repro.graph.generators import empty_graph
+
+        if self.n_edges == 0:
+            return empty_graph(self.n_vertices, name=self.name)
+        g = graph_from_edges(self.edges, name=self.name)
+        if g.n_vertices < self.n_vertices:  # trailing isolated vertices
+            from repro.graph.generators import _pad_isolated
+
+            g = _pad_isolated(g, self.n_vertices)
+        return g
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"{self.n_vertices}v{self.n_edges}e"
+        return f"Pattern({label}, edges={self.edges})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._adj_bits == other._adj_bits
+
+    def __hash__(self) -> int:
+        return hash(self._adj_bits)

@@ -1,0 +1,150 @@
+"""Permutations and their cycle structure (the algebra behind §IV-A).
+
+GraphPi's restriction generator works on the permutation group formed by
+a pattern's automorphisms.  The key operation is extracting *2-cycles*
+(transpositions) from a permutation's disjoint-cycle decomposition:
+restrictions are applied on 2-cycles, and any k-cycle factors into
+2-cycles, which is why they are "the most essential elements".
+
+A permutation over n points is represented as a tuple ``p`` of length n
+with ``p[i]`` = image of point ``i``.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as _itertools_permutations
+from typing import Iterable, Iterator, Sequence
+
+Perm = tuple[int, ...]
+
+
+def identity(n: int) -> Perm:
+    """The identity permutation on n points."""
+    return tuple(range(n))
+
+
+def is_identity(perm: Sequence[int]) -> bool:
+    return all(p == i for i, p in enumerate(perm))
+
+
+def validate_perm(perm: Sequence[int]) -> Perm:
+    """Check that ``perm`` is a bijection on {0..n-1} and return it as a tuple."""
+    n = len(perm)
+    seen = [False] * n
+    for p in perm:
+        if not isinstance(p, (int,)) or not 0 <= p < n or seen[p]:
+            raise ValueError(f"not a permutation of 0..{n - 1}: {perm!r}")
+        seen[p] = True
+    return tuple(perm)
+
+
+def compose(outer: Sequence[int], inner: Sequence[int]) -> Perm:
+    """(outer ∘ inner)(x) = outer[inner[x]]."""
+    if len(outer) != len(inner):
+        raise ValueError("cannot compose permutations of different sizes")
+    return tuple(outer[i] for i in inner)
+
+
+def inverse(perm: Sequence[int]) -> Perm:
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return tuple(inv)
+
+
+def apply_perm(perm: Sequence[int], items: Sequence) -> tuple:
+    """Relabel: result[perm[i]] = items[i]."""
+    out = [None] * len(items)
+    for i, item in enumerate(items):
+        out[perm[i]] = item
+    return tuple(out)
+
+
+def cycle_decomposition(perm: Sequence[int]) -> list[tuple[int, ...]]:
+    """Disjoint-cycle decomposition, fixed points included as 1-cycles.
+
+    Cycles are rotated to start at their minimum element and sorted by
+    that element, giving a canonical form:
+
+    >>> cycle_decomposition((0, 3, 2, 1))
+    [(0,), (1, 3), (2,)]
+    """
+    n = len(perm)
+    seen = [False] * n
+    cycles: list[tuple[int, ...]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycle = [start]
+        seen[start] = True
+        nxt = perm[start]
+        while nxt != start:
+            cycle.append(nxt)
+            seen[nxt] = True
+            nxt = perm[nxt]
+        cycles.append(tuple(cycle))
+    return cycles
+
+
+def two_cycles(perm: Sequence[int]) -> list[tuple[int, int]]:
+    """All transposition pairs {a, b} with perm[a] == b and perm[b] == a.
+
+    This is the test on line 11 of the paper's Algorithm 1
+    (``vertex == perm[perm[vertex]]`` with ``perm[vertex] != vertex``).
+    Pairs are returned once, as (a, b) with a < b.
+    """
+    out = []
+    for a, image in enumerate(perm):
+        if image > a and perm[image] == a:
+            out.append((a, image))
+    return out
+
+
+def transposition_product(perm: Sequence[int]) -> list[tuple[int, int]]:
+    """Factor the permutation into 2-cycles (as the paper's example does).
+
+    A k-cycle (a1, a2, ..., ak) factors as (a1,ak)(a1,ak-1)...(a1,a2).
+    Fixed points contribute nothing.  Composing the returned
+    transpositions right-to-left reproduces the permutation.
+    """
+    factors: list[tuple[int, int]] = []
+    for cycle in cycle_decomposition(perm):
+        if len(cycle) < 2:
+            continue
+        head = cycle[0]
+        for other in reversed(cycle[1:]):
+            factors.append((head, other))
+    return factors
+
+
+def perm_from_cycles(n: int, cycles: Iterable[Sequence[int]]) -> Perm:
+    """Build a permutation from disjoint cycles (unlisted points fixed)."""
+    out = list(range(n))
+    touched = set()
+    for cycle in cycles:
+        for x in cycle:
+            if x in touched:
+                raise ValueError(f"cycles are not disjoint at point {x}")
+            touched.add(x)
+        for i, x in enumerate(cycle):
+            out[x] = cycle[(i + 1) % len(cycle)]
+    return tuple(out)
+
+
+def perm_order(perm: Sequence[int]) -> int:
+    """Order of the permutation = lcm of its cycle lengths."""
+    from math import lcm
+
+    return lcm(*(len(c) for c in cycle_decomposition(perm))) if perm else 1
+
+
+def all_permutations(n: int) -> Iterator[Perm]:
+    """All n! permutations of 0..n-1 (n is a pattern size: tiny)."""
+    return _itertools_permutations(range(n))
+
+
+def cycles_to_string(perm: Sequence[int]) -> str:
+    """Render as a product of disjoint cycles, e.g. '(0)(1 3)(2)'."""
+    return "".join(
+        "(" + " ".join(str(x) for x in cycle) + ")" for cycle in cycle_decomposition(perm)
+    )

@@ -1,0 +1,41 @@
+"""Distributed/parallel runtime: tasks, work stealing, cluster simulation.
+
+Mirrors §IV-E: fine-grained prefix tasks from a master, worker execution
+of inner loops, and MPI-style work stealing between per-node queues.
+``parallel`` runs for real on local cores; ``cluster`` replays measured
+task costs through a deterministic event simulation at any node count.
+"""
+
+from repro.runtime.tasks import (
+    Task,
+    choose_split_depth,
+    execute_task,
+    generate_tasks,
+    run_partitioned,
+)
+from repro.runtime.worksteal import StealPolicy, VictimSelector, initial_distribution
+from repro.runtime.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    SimulationResult,
+    scaling_curve,
+)
+from repro.runtime.parallel import ParallelResult, measure_task_costs, parallel_count
+
+__all__ = [
+    "Task",
+    "choose_split_depth",
+    "execute_task",
+    "generate_tasks",
+    "run_partitioned",
+    "StealPolicy",
+    "VictimSelector",
+    "initial_distribution",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "SimulationResult",
+    "scaling_curve",
+    "ParallelResult",
+    "measure_task_costs",
+    "parallel_count",
+]

@@ -1,0 +1,209 @@
+"""Event-driven simulated cluster for the scalability study (Figure 12).
+
+The paper scales GraphPi to 1 024 Tianhe-2A nodes (24 576 cores).  We
+cannot run MPI here, but the *shape* of Figure 12 — near-linear speedup
+flattening when per-node work gets too small or too skewed — is a
+property of the task-cost distribution plus the scheduling policy, both
+of which we have.  So:
+
+1. measure (or synthesise) per-task costs once, with the real engine;
+2. replay them through this simulator at any node count.
+
+The simulator models, per node: ``threads_per_node`` worker threads
+popping a node-local queue, and a communication thread that steals
+batches from a random victim when the local queue drops below the
+policy threshold.  A steal costs ``steal_latency`` seconds of simulated
+time before the stolen tasks arrive (MPI round-trip + packing), during
+which workers may idle — that is where the sub-linear tail of Figure 12
+comes from.
+
+The simulation is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.worksteal import StealPolicy, VictimSelector, initial_distribution
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware/runtime shape of the simulated cluster."""
+
+    n_nodes: int
+    threads_per_node: int = 24  # Tianhe-2A: 24 OpenMP threads per node
+    steal_latency: float = 5e-4  # seconds per steal round-trip
+    dispatch_overhead: float = 1e-6  # per-task dequeue cost
+    policy: StealPolicy = field(default_factory=StealPolicy)
+
+    def __post_init__(self):
+        check_positive(self.n_nodes, "n_nodes")
+        check_positive(self.threads_per_node, "threads_per_node")
+        check_positive(self.steal_latency, "steal_latency", strict=False)
+        check_positive(self.dispatch_overhead, "dispatch_overhead", strict=False)
+
+    @property
+    def total_threads(self) -> int:
+        return self.n_nodes * self.threads_per_node
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    spec: ClusterSpec
+    makespan: float
+    total_work: float
+    steals: int
+    failed_steal_rounds: int
+    per_node_busy: list[float]
+
+    @property
+    def ideal_time(self) -> float:
+        return self.total_work / self.spec.total_threads
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency vs. the perfectly balanced ideal."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.ideal_time / self.makespan
+
+    @property
+    def imbalance(self) -> float:
+        """max busy / mean busy across nodes (1.0 = perfect balance)."""
+        busy = np.asarray(self.per_node_busy)
+        mean = busy.mean()
+        return float(busy.max() / mean) if mean > 0 else 1.0
+
+
+class ClusterSimulator:
+    """Discrete-event simulation of master/worker + work stealing."""
+
+    def __init__(self, spec: ClusterSpec, seed=2020):
+        self.spec = spec
+        self.seed = seed
+
+    def run(self, task_costs, *, distribution: str = "block") -> SimulationResult:
+        """Simulate executing ``task_costs`` (seconds per task).
+
+        Event loop: worker threads are (time, node) entries in a heap;
+        when a worker needs a task it pops the node queue; an empty (or
+        below-threshold) queue triggers the node's communication thread
+        to steal a batch, which lands ``steal_latency`` later.
+        """
+        costs = np.asarray(task_costs, dtype=np.float64)
+        if costs.ndim != 1 or len(costs) == 0:
+            raise ValueError("task_costs must be a non-empty 1-D sequence")
+        if np.any(costs < 0):
+            raise ValueError("task costs must be non-negative")
+        spec = self.spec
+        n_nodes = spec.n_nodes
+        queues = initial_distribution(len(costs), n_nodes, mode=distribution)
+        selector = VictimSelector(n_nodes, seed=self.seed)
+
+        # Worker availability: heap of (time, tie, node, thread).
+        heap: list[tuple[float, int, int, int]] = []
+        tie = 0
+        for node in range(n_nodes):
+            for thread in range(spec.threads_per_node):
+                heapq.heappush(heap, (0.0, tie, node, thread))
+                tie += 1
+
+        # Pending steals: node -> arrival time of the in-flight batch.
+        inflight: dict[int, float] = {}
+        busy = [0.0] * n_nodes
+        steals = 0
+        failed_rounds = 0
+        remaining = len(costs)
+        makespan = 0.0
+
+        def try_steal(thief: int, now: float) -> None:
+            nonlocal steals, failed_rounds
+            if thief in inflight:
+                return
+            lengths = [len(q) for q in queues]
+            victim = None
+            for _ in range(spec.policy.max_victim_probes):
+                v = selector.pick(thief, lengths)
+                if v is not None and lengths[v] > 0:
+                    victim = v
+                    break
+            if victim is None:
+                failed_rounds += 1
+                return
+            batch = spec.policy.batch_size(len(queues[victim]))
+            if batch <= 0:
+                failed_rounds += 1
+                return
+            stolen = [queues[victim].pop() for _ in range(batch)]
+            steals += 1
+            inflight[thief] = now + spec.steal_latency
+            # The stolen tasks are appended on arrival; we model this by
+            # holding them aside until the worker loop reaches that time.
+            arrivals.setdefault(thief, []).extend(stolen)
+
+        arrivals: dict[int, list[int]] = {}
+
+        while remaining > 0:
+            now, _, node, thread = heapq.heappop(heap)
+            makespan = max(makespan, now)
+            # Deliver any steal batch that has arrived by now.
+            if node in inflight and inflight[node] <= now:
+                queues[node].extend(arrivals.pop(node, []))
+                del inflight[node]
+            if spec.policy.should_steal(len(queues[node])) and remaining > len(
+                queues[node]
+            ):
+                try_steal(node, now)
+            if queues[node]:
+                task = queues[node].pop(0)
+                dur = float(costs[task]) + spec.dispatch_overhead
+                busy[node] += dur
+                remaining -= 1
+                finish = now + dur
+                makespan = max(makespan, finish)
+                heapq.heappush(heap, (finish, tie, node, thread))
+                tie += 1
+            else:
+                # Idle until either an in-flight batch lands or a small
+                # backoff elapses; re-queue the worker at that time.
+                wake = inflight.get(node, now + spec.steal_latency)
+                heapq.heappush(heap, (max(wake, now + spec.steal_latency / 4), tie, node, thread))
+                tie += 1
+
+        return SimulationResult(
+            spec=spec,
+            makespan=makespan,
+            total_work=float(costs.sum()),
+            steals=steals,
+            failed_steal_rounds=failed_rounds,
+            per_node_busy=busy,
+        )
+
+
+def scaling_curve(
+    task_costs,
+    node_counts,
+    *,
+    threads_per_node: int = 24,
+    steal_latency: float = 5e-4,
+    seed: int = 2020,
+    policy: StealPolicy | None = None,
+) -> list[SimulationResult]:
+    """Run the simulator over a range of node counts (Figure 12's x-axis)."""
+    results = []
+    for n in node_counts:
+        spec = ClusterSpec(
+            n_nodes=int(n),
+            threads_per_node=threads_per_node,
+            steal_latency=steal_latency,
+            policy=policy or StealPolicy(),
+        )
+        results.append(ClusterSimulator(spec, seed=seed).run(task_costs))
+    return results

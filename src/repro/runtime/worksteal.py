@@ -1,0 +1,110 @@
+"""The work-stealing policy (§IV-E).
+
+*"There is a communication thread that maintains a task queue on each
+node.  When the number of tasks in the task queue is less than a
+threshold, the communication thread uses asynchronous communication
+primitives of MPI to steal tasks from other nodes and add them to its
+queue."*
+
+This module isolates the *policy* — when to steal, from whom, how much —
+so the event-driven cluster simulator and the tests exercise the same
+decisions the paper describes.  The mechanism (message timing) lives in
+:mod:`repro.runtime.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class StealPolicy:
+    """Parameters of the stealing behaviour.
+
+    steal_threshold:
+        Steal when the local queue length drops below this.
+    steal_batch_fraction:
+        Fraction of the victim's queue taken per steal (at least one
+        task); half-stealing is the classic choice.
+    max_victim_probes:
+        How many victims a thief probes before giving up this round.
+    """
+
+    steal_threshold: int = 2
+    steal_batch_fraction: float = 0.5
+    max_victim_probes: int = 3
+
+    def __post_init__(self):
+        if self.steal_threshold < 1:
+            raise ValueError("steal_threshold must be >= 1")
+        if not 0.0 < self.steal_batch_fraction <= 1.0:
+            raise ValueError("steal_batch_fraction must be in (0, 1]")
+        if self.max_victim_probes < 1:
+            raise ValueError("max_victim_probes must be >= 1")
+
+    def should_steal(self, queue_length: int) -> bool:
+        return queue_length < self.steal_threshold
+
+    def batch_size(self, victim_queue_length: int) -> int:
+        """How many tasks to take from a victim with the given backlog."""
+        if victim_queue_length <= 0:
+            return 0
+        return max(1, int(victim_queue_length * self.steal_batch_fraction))
+
+
+class VictimSelector:
+    """Random victim selection with a deterministic RNG stream.
+
+    Random selection is what MPI work-stealing runtimes typically do
+    (and what keeps the simulation assumption-free about topology).
+    """
+
+    def __init__(self, n_nodes: int, seed=None):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self._rng = make_rng(seed)
+
+    def pick(self, thief: int, queue_lengths) -> int | None:
+        """Pick a victim with a non-empty queue, or None if all empty."""
+        candidates = [
+            n for n in range(self.n_nodes) if n != thief and queue_lengths[n] > 0
+        ]
+        if not candidates:
+            return None
+        return int(candidates[self._rng.integers(0, len(candidates))])
+
+    def pick_loaded(self, thief: int, queue_lengths) -> int | None:
+        """Pick the most loaded other node (informed variant, for the
+        ablation of steal policies)."""
+        best, best_len = None, 0
+        for n in range(self.n_nodes):
+            if n == thief:
+                continue
+            if queue_lengths[n] > best_len:
+                best, best_len = n, queue_lengths[n]
+        return best
+
+
+def initial_distribution(n_tasks: int, n_nodes: int, mode: str = "block") -> list[list[int]]:
+    """Distribute task indices to node queues.
+
+    ``block`` gives contiguous ranges (what a master handing out batches
+    produces); ``cyclic`` deals round-robin (better initial balance,
+    poorer locality).  Returned queues preserve execution order.
+    """
+    queues: list[list[int]] = [[] for _ in range(n_nodes)]
+    if mode == "block":
+        bounds = np.linspace(0, n_tasks, n_nodes + 1).astype(int)
+        for node in range(n_nodes):
+            queues[node] = list(range(bounds[node], bounds[node + 1]))
+    elif mode == "cyclic":
+        for t in range(n_tasks):
+            queues[t % n_nodes].append(t)
+    else:
+        raise ValueError(f"unknown distribution mode {mode!r}")
+    return queues

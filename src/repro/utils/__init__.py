@@ -1,0 +1,29 @@
+"""Shared low-level utilities (timing, RNG seeding, validation, tables).
+
+Nothing in this package knows about graphs or patterns; it exists so that
+the substrate packages stay dependency-free of each other.
+"""
+
+from repro.utils.timing import Timer, timed
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    require,
+)
+from repro.utils.tables import Table, format_seconds, format_speedup
+
+__all__ = [
+    "Timer",
+    "timed",
+    "make_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "require",
+    "Table",
+    "format_seconds",
+    "format_speedup",
+]

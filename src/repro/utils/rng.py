@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the repository (graph generators, dataset
+proxies, workload samplers) accepts either an integer seed or an existing
+``numpy.random.Generator``.  Centralising the coercion here keeps the
+whole evaluation reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    ``None`` yields a fresh nondeterministic generator; an existing
+    generator is passed through unchanged (so callers can thread one RNG
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used by the simulated cluster so that per-node stochastic decisions
+    (steal victim selection) are independent streams yet reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of RNGs: {n}")
+    root = make_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if hasattr(
+        root.bit_generator, "seed_seq"
+    ) and root.bit_generator.seed_seq is not None else [
+        np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(n)
+    ]

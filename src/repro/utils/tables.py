@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the paper reports; this module
+renders them as aligned monospace tables (and round-trips them to/from
+simple TSV for ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration: '123 ms', '4.56 s', '2.1 min'."""
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds == float("inf"):
+        return "timeout"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def format_speedup(ratio: float) -> str:
+    """Render a speedup ratio as the paper does ('105x', '1.4x')."""
+    if ratio != ratio or ratio <= 0 or math.isinf(ratio):
+        return "n/a"
+    if ratio >= 100:
+        return f"{ratio:.0f}x"
+    if ratio >= 10:
+        return f"{ratio:.1f}x"
+    return f"{ratio:.2f}x"
+
+
+@dataclass
+class Table:
+    """An append-only table with aligned text rendering.
+
+    >>> t = Table(["graph", "time"], title="demo")
+    >>> t.add_row(["wiki", "1.0 s"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * len(self.title))
+        out.append(line(list(self.columns)))
+        out.append(sep)
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def to_tsv(self) -> str:
+        head = "\t".join(self.columns)
+        body = "\n".join("\t".join(row) for row in self.rows)
+        return f"{head}\n{body}\n" if body else f"{head}\n"
+
+    @classmethod
+    def from_tsv(cls, text: str, title: str = "") -> "Table":
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty TSV text")
+        table = cls(lines[0].split("\t"), title=title)
+        for ln in lines[1:]:
+            table.add_row(ln.split("\t"))
+        return table

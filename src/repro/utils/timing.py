@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers.
+
+The benchmark harness wants (a) a context-manager timer whose result can
+be read after the block, and (b) a decorator that records cumulative time
+per function for quick profiling of the preprocessing pipeline
+(Table III measures exactly that).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+
+    A single Timer may be re-entered; ``elapsed`` then accumulates, and
+    ``laps`` records each enter/exit interval separately.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def last(self) -> float:
+        """Duration of the most recent lap (0.0 before first exit)."""
+        return self.laps[-1] if self.laps else 0.0
+
+
+def timed(func):
+    """Decorator accumulating total wall time and call count on the function.
+
+    The accumulated values are exposed as ``func.total_seconds`` and
+    ``func.call_count`` and can be reset with ``func.reset_timing()``.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return func(*args, **kwargs)
+        finally:
+            wrapper.total_seconds += time.perf_counter() - start
+            wrapper.call_count += 1
+
+    def reset_timing() -> None:
+        wrapper.total_seconds = 0.0
+        wrapper.call_count = 0
+
+    wrapper.total_seconds = 0.0
+    wrapper.call_count = 0
+    wrapper.reset_timing = reset_timing
+    return wrapper

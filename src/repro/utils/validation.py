@@ -1,0 +1,40 @@
+"""Argument-validation helpers with uniform error messages.
+
+The public API surfaces of the graph and pattern packages validate their
+inputs eagerly so that user errors fail at construction time with a clear
+message rather than deep inside the matching engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Validate that a numeric argument is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_index(value: Any, size: int, name: str) -> int:
+    """Validate an integer index into a container of length ``size``."""
+    idx = int(value)
+    if idx != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= idx < size:
+        raise IndexError(f"{name}={idx} out of range [0, {size})")
+    return idx

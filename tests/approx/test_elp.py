@@ -1,0 +1,75 @@
+"""Error–latency profiles: calibration math and the rare-pattern gate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.approx.elp import ErrorLatencyProfile, RareEmbeddingError, build_elp
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import erdos_renyi
+from repro.pattern.catalog import clique, triangle
+
+
+@pytest.fixture(scope="module")
+def g_er():
+    return erdos_renyi(60, 0.2, seed=31)
+
+
+@pytest.fixture(scope="module")
+def profile(g_er):
+    return build_elp(g_er, triangle(), pilot_samples=3_000, seed=41)
+
+
+class TestProfileMath:
+    def test_budget_shrinks_with_looser_error(self, profile):
+        assert profile.samples_for(0.10) <= profile.samples_for(0.01)
+
+    def test_budget_error_roundtrip(self, profile):
+        n = profile.samples_for(0.05)
+        # evaluating the expected error at the chosen budget recovers
+        # (at most) the target
+        assert profile.error_at(n) <= 0.05 + 1e-9
+
+    def test_error_decreases_with_samples(self, profile):
+        assert profile.error_at(10_000) < profile.error_at(100)
+
+    def test_inverse_square_root_law(self, profile):
+        # quadrupling the budget must halve the expected error
+        e1, e4 = profile.error_at(1_000), profile.error_at(4_000)
+        assert e4 == pytest.approx(e1 / 2)
+
+    def test_cv_positive_for_abundant_pattern(self, profile):
+        assert 0 < profile.coefficient_of_variation < math.inf
+        assert profile.pilot_hits > 0
+
+    def test_bad_args(self, profile):
+        with pytest.raises(ValueError):
+            profile.samples_for(0.0)
+        with pytest.raises(ValueError):
+            profile.error_at(0)
+
+
+class TestRareGate:
+    def test_zero_hit_pilot_raises(self):
+        g = graph_from_edges([(i, i + 1) for i in range(30)])  # triangle-free
+        prof = build_elp(g, triangle(), pilot_samples=500, seed=43)
+        assert prof.pilot_hits == 0
+        assert math.isinf(prof.coefficient_of_variation)
+        assert math.isinf(prof.error_at(10_000))
+        with pytest.raises(RareEmbeddingError):
+            prof.samples_for(0.05)
+
+    def test_rare_pattern_needs_more_samples_than_common(self, g_er):
+        common = build_elp(g_er, triangle(), pilot_samples=4_000, seed=47)
+        rare_graph = graph_from_edges(
+            [(i, i + 1) for i in range(150)]
+            + [(200, 201), (200, 202), (201, 202), (0, 200)]
+        )
+        rare = build_elp(rare_graph, triangle(), pilot_samples=4_000, seed=47)
+        if rare.pilot_hits == 0:
+            with pytest.raises(RareEmbeddingError):
+                rare.samples_for(0.05)
+        else:
+            assert rare.samples_for(0.05) > common.samples_for(0.05)

@@ -1,0 +1,75 @@
+"""Brute-force oracle, itself cross-checked against networkx VF2."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.bruteforce import (
+    bruteforce_count,
+    bruteforce_enumerate,
+    count_assignments,
+)
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.catalog import clique, house, path, rectangle, star, triangle
+
+
+def to_nx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def nx_count(graph, pattern):
+    """Independent oracle: VF2 subgraph monomorphisms / |Aut|."""
+    big = to_nx(graph)
+    small = nx.Graph()
+    small.add_nodes_from(range(pattern.n_vertices))
+    small.add_edges_from(pattern.edges)
+    matcher = nx.algorithms.isomorphism.GraphMatcher(big, small)
+    n = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+    aut = automorphism_count(pattern)
+    assert n % aut == 0
+    return n // aut
+
+
+class TestAssignments:
+    def test_triangle_in_k3(self):
+        assert count_assignments(complete_graph(3), triangle()) == 6
+
+    def test_divisibility_by_aut(self, er_small):
+        for pattern in (triangle(), rectangle(), house()):
+            total = count_assignments(er_small, pattern)
+            assert total % automorphism_count(pattern) == 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), rectangle(), house(), clique(4), path(4), star(3)],
+        ids=lambda p: p.name,
+    )
+    def test_counts_match_vf2(self, pattern):
+        g = erdos_renyi(30, 0.25, seed=55)
+        assert bruteforce_count(g, pattern) == nx_count(g, pattern)
+
+    def test_multiple_seeds(self):
+        for seed in range(3):
+            g = erdos_renyi(25, 0.3, seed=seed)
+            assert bruteforce_count(g, triangle()) == nx_count(g, triangle())
+
+
+class TestEnumerate:
+    def test_distinct_and_minimal(self, er_small):
+        embs = list(bruteforce_enumerate(er_small, rectangle()))
+        assert len(embs) == len(set(embs))
+        assert len(embs) == bruteforce_count(er_small, rectangle())
+
+    def test_pattern_too_big(self):
+        assert list(bruteforce_enumerate(complete_graph(2), triangle())) == []
+
+    def test_embeddings_valid(self, er_small):
+        pattern = house()
+        for emb in bruteforce_enumerate(er_small, pattern):
+            for u, v in pattern.edges:
+                assert er_small.has_edge(emb[u], emb[v])

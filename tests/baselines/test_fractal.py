@@ -1,0 +1,67 @@
+"""Fractal-style extension baseline."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count, bruteforce_enumerate
+from repro.baselines.fractal import FractalMatcher, fractal_count
+from repro.pattern.catalog import house, pentagon, rectangle, triangle
+from repro.pattern.pattern import Pattern
+
+
+class TestCorrectness:
+    def test_counts_match_bruteforce(self, er_small, all_small_patterns):
+        for pattern in all_small_patterns:
+            assert fractal_count(er_small, pattern) == bruteforce_count(
+                er_small, pattern
+            ), pattern.name
+
+    def test_embeddings_distinct_and_valid(self, er_small):
+        pattern = rectangle()
+        embs = list(FractalMatcher(pattern).enumerate_embeddings(er_small))
+        assert len(embs) == len(set(embs))
+        for emb in embs:
+            for u, v in pattern.edges:
+                assert er_small.has_edge(emb[u], emb[v])
+
+    def test_same_embedding_sets_as_bruteforce(self, er_small):
+        pattern = triangle()
+        ours = {frozenset(e) for e in FractalMatcher(pattern).enumerate_embeddings(er_small)}
+        brute = {frozenset(e) for e in bruteforce_enumerate(er_small, pattern)}
+        assert ours == brute
+
+    def test_pattern_larger_than_graph(self):
+        from repro.graph.generators import complete_graph
+
+        assert fractal_count(complete_graph(3), rectangle()) == 0
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            FractalMatcher(Pattern(4, [(0, 1), (2, 3)]))
+
+
+class TestCostProfile:
+    def test_frontier_materialisation_recorded(self, er_small):
+        m = FractalMatcher(house())
+        m.count(er_small)
+        assert len(m.stats.levels) == house().n_vertices
+        assert m.stats.peak_frontier >= m.stats.levels[0]
+        assert m.stats.extensions_tested > 0
+
+    def test_canonicality_rejections_counted(self, er_small):
+        """All-but-one orbit member must be rejected at the leaves."""
+        m = FractalMatcher(triangle())
+        count = m.count(er_small)
+        # |Aut| = 6: each distinct triangle appears as 6 assignments.
+        assert m.stats.canonicality_rejections == count * 5
+
+    def test_memory_cap_raises(self, er_medium):
+        """Fractal's Orkut OOM (Figure 8), reproduced as a frontier cap."""
+        m = FractalMatcher(pentagon(), max_frontier=50)
+        with pytest.raises(MemoryError):
+            m.count(er_medium)
+
+    def test_frontier_grows_into_inner_levels(self, er_medium):
+        m = FractalMatcher(triangle())
+        m.count(er_medium)
+        # Level 1 (one vertex each) is |V|; level 2 is ~sum of degrees.
+        assert m.stats.levels[1] > m.stats.levels[0]

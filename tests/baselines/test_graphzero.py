@@ -1,0 +1,104 @@
+"""Reproduced GraphZero: single restriction set + weaker model."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count
+from repro.baselines.graphzero import (
+    GraphZeroMatcher,
+    graphzero_cost,
+    graphzero_count,
+    graphzero_restriction_set,
+)
+from repro.core.restrictions import (
+    generate_restriction_sets,
+    surviving_permutations,
+    validate_restriction_set,
+)
+from repro.graph.stats import GraphStats
+from repro.pattern.automorphism import automorphisms
+from repro.pattern.catalog import clique, cycle_6_tri, house, pentagon, rectangle, triangle
+from repro.pattern.pattern import Pattern
+
+
+class TestRestrictionSet:
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), rectangle(), house(), pentagon(), cycle_6_tri(), clique(4), clique(5)],
+        ids=lambda p: p.name,
+    )
+    def test_set_is_valid(self, pattern):
+        rs = graphzero_restriction_set(pattern)
+        assert validate_restriction_set(pattern, rs)
+
+    def test_single_set_only(self):
+        """GraphZero's defining limitation vs GraphPi."""
+        a = graphzero_restriction_set(house())
+        b = graphzero_restriction_set(house())
+        assert a == b  # deterministic, exactly one
+
+    def test_eliminates_to_identity(self):
+        p = rectangle()
+        rs = graphzero_restriction_set(p)
+        assert surviving_permutations(automorphisms(p), rs) == [tuple(range(4))]
+
+    def test_graphpi_superset_of_choices(self):
+        """GraphPi's generator explores a strictly larger space than the
+        single GraphZero set for symmetric patterns."""
+        p = rectangle()
+        pi_sets = generate_restriction_sets(p)
+        assert len(pi_sets) > 1
+
+    def test_asymmetric_pattern_empty(self):
+        p = Pattern(6, [(0, 2), (0, 3), (0, 5), (1, 2), (1, 4), (2, 3)])
+        assert graphzero_restriction_set(p) == frozenset()
+
+
+class TestCostModel:
+    def test_degree_only_model_ignores_triangles(self):
+        """Two graphs with equal |V|, |E| but different triangle counts
+        must get identical GraphZero costs — the model's blind spot."""
+        from repro.graph.builder import graph_from_edges
+
+        tri_rich = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        tri_free = graph_from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+        )
+        s1, s2 = GraphStats.of(tri_rich), GraphStats.of(tri_free)
+        assert s1.triangles != s2.triangles
+        sched = (0, 1, 2, 3, 4)
+        assert graphzero_cost(house(), sched, s1) == graphzero_cost(house(), sched, s2)
+
+    def test_prefers_connected_schedules(self, er_small):
+        stats = GraphStats.of(er_small)
+        good = graphzero_cost(house(), (0, 1, 2, 3, 4), stats)
+        bad = graphzero_cost(house(), (2, 3, 4, 0, 1), stats)
+        assert good < bad
+
+
+class TestMatcher:
+    def test_counts_match_bruteforce(self, er_small, all_small_patterns):
+        for pattern in all_small_patterns:
+            assert graphzero_count(er_small, pattern) == bruteforce_count(
+                er_small, pattern
+            ), pattern.name
+
+    def test_plan_exposes_choice(self, er_small):
+        m = GraphZeroMatcher(house())
+        plan = m.plan(er_small)
+        assert plan.config.restrictions == m.restriction_set
+        assert plan.predicted_cost > 0
+
+    def test_match_yields_valid_embeddings(self, er_small):
+        for emb in GraphZeroMatcher(triangle()).match(er_small, limit=10):
+            a, b, c = emb
+            assert er_small.has_edge(a, b) and er_small.has_edge(b, c)
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            GraphZeroMatcher(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_plan_requires_input(self):
+        with pytest.raises(ValueError):
+            GraphZeroMatcher(triangle()).plan()

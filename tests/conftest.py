@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs and the pattern zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import complete_graph, erdos_renyi, random_power_law
+from repro.pattern.catalog import (
+    clique,
+    cycle_6_tri,
+    hourglass,
+    house,
+    pentagon,
+    rectangle,
+    triangle,
+)
+
+
+@pytest.fixture(scope="session")
+def er_small():
+    """Erdős–Rényi graph small enough for brute-force oracles."""
+    return erdos_renyi(40, 0.25, seed=101)
+
+
+@pytest.fixture(scope="session")
+def er_medium():
+    """A bit larger; still brute-forceable for 3–4-vertex patterns."""
+    return erdos_renyi(120, 0.08, seed=202)
+
+
+@pytest.fixture(scope="session")
+def powerlaw_small():
+    """Skewed degrees — exercises the imbalance paths."""
+    return random_power_law(150, avg_degree=8.0, exponent=2.2, seed=303)
+
+
+@pytest.fixture(scope="session")
+def k7():
+    return complete_graph(7)
+
+
+@pytest.fixture(scope="session")
+def toy_graph():
+    """The 8-vertex graph of the paper's Figure 1."""
+    # Vertices 1..8 in the figure; we use 0-based ids 0..7.
+    # Edges reconstructed from the figure's embeddings: the house
+    # instances use vertices {3,4,5,6,7}; vertex 1,2,8 are periphery.
+    return graph_from_edges(
+        [
+            (3, 4), (3, 5), (4, 5), (4, 6), (5, 7), (6, 7), (4, 7), (5, 6),
+            (0, 3), (1, 4), (2, 7),
+        ]
+    )
+
+
+@pytest.fixture(
+    params=["triangle", "rectangle", "house", "pentagon", "hourglass"],
+    scope="session",
+)
+def small_pattern(request):
+    return {
+        "triangle": triangle,
+        "rectangle": rectangle,
+        "house": house,
+        "pentagon": pentagon,
+        "hourglass": hourglass,
+    }[request.param]()
+
+
+@pytest.fixture(scope="session")
+def all_small_patterns():
+    return [triangle(), rectangle(), house(), pentagon(), hourglass(), clique(4)]
+
+
+@pytest.fixture(scope="session")
+def six_vertex_patterns():
+    return [cycle_6_tri()]

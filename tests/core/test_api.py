@@ -1,0 +1,97 @@
+"""The public PatternMatcher API."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count, bruteforce_enumerate
+from repro.core.api import PatternMatcher, count_pattern, match_pattern
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import cycle_6_tri, house, triangle
+from repro.pattern.pattern import Pattern
+
+
+class TestPlan:
+    def test_report_contents(self, er_small):
+        m = PatternMatcher(house())
+        rep = m.plan(er_small)
+        assert rep.pattern == house()
+        assert len(rep.restriction_sets) >= 1
+        assert rep.n_schedules >= 1
+        assert rep.ranking[0] is rep.chosen
+        assert rep.chosen.predicted_cost <= rep.ranking[-1].predicted_cost
+        assert rep.generated is not None
+        assert rep.seconds_total >= 0
+        assert "configurations" in rep.describe()
+
+    def test_plan_with_precomputed_stats(self, er_small):
+        stats = GraphStats.of(er_small)
+        rep = PatternMatcher(triangle()).plan(stats=stats)
+        assert rep.stats is stats
+
+    def test_plan_requires_graph_or_stats(self):
+        with pytest.raises(ValueError):
+            PatternMatcher(triangle()).plan()
+
+    def test_use_iep_selects_iep_plan(self, er_small):
+        rep = PatternMatcher(cycle_6_tri()).plan(er_small, use_iep=True)
+        assert rep.plan.iep_k > 0
+
+    def test_codegen_toggle(self, er_small):
+        rep = PatternMatcher(triangle(), use_codegen=False).plan(er_small)
+        assert rep.generated is None
+        rep2 = PatternMatcher(triangle(), use_codegen=False).plan(er_small, codegen=True)
+        assert rep2.generated is not None
+
+
+class TestCount:
+    def test_matches_bruteforce(self, er_small, all_small_patterns):
+        for pattern in all_small_patterns:
+            expected = bruteforce_count(er_small, pattern)
+            assert PatternMatcher(pattern).count(er_small) == expected, pattern.name
+            assert count_pattern(er_small, pattern) == expected
+
+    def test_iep_and_plain_agree(self, er_small, small_pattern):
+        m = PatternMatcher(small_pattern)
+        assert m.count(er_small, use_iep=True) == m.count(er_small, use_iep=False)
+
+    def test_count_with_cached_report(self, er_small):
+        m = PatternMatcher(house())
+        rep = m.plan(er_small, use_iep=True)
+        assert m.count(er_small, report=rep) == m.count(er_small)
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMatcher(Pattern(4, [(0, 1), (2, 3)]))
+
+
+class TestMatch:
+    def test_embeddings_valid(self, er_small):
+        pattern = house()
+        for emb in PatternMatcher(pattern).match(er_small, limit=25):
+            assert len(set(emb)) == pattern.n_vertices
+            for u, v in pattern.edges:
+                assert er_small.has_edge(emb[u], emb[v])
+
+    def test_match_pattern_oneshot(self, er_small):
+        embs = {frozenset(e) for e in match_pattern(er_small, triangle())}
+        brute = {frozenset(e) for e in bruteforce_enumerate(er_small, triangle())}
+        assert embs == brute
+
+    def test_match_never_uses_iep(self, er_small):
+        # Even with an IEP-selected report, match() recompiles without IEP.
+        m = PatternMatcher(cycle_6_tri())
+        rep = m.plan(er_small, use_iep=True)
+        embs = list(m.match(er_small, limit=2, report=rep))
+        assert all(len(e) == 6 for e in embs)
+
+
+class TestCaches:
+    def test_restriction_and_schedule_caches(self, er_small):
+        m = PatternMatcher(house())
+        assert m.restriction_sets() is m.restriction_sets()
+        assert m.schedules() is m.schedules()
+
+    def test_max_restriction_sets(self):
+        from repro.pattern.catalog import clique
+
+        m = PatternMatcher(clique(4), max_restriction_sets=2)
+        assert len(m.restriction_sets()) <= 2

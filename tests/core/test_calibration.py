@@ -1,0 +1,99 @@
+"""Calibrated cost model: host probing and absolute prediction bands."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.api import PatternMatcher
+from repro.core.calibration import CalibratedModel, HostConstants, calibrate
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.generators import erdos_renyi
+from repro.graph.stats import GraphStats
+from repro.pattern.catalog import house, rectangle, triangle
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return calibrate(seed=11)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(300, 0.04, seed=19)
+
+
+class TestProbes:
+    def test_constants_positive_and_sane(self, constants):
+        assert 0 < constants.seconds_per_merge_element < 1e-5
+        assert 0 < constants.seconds_per_iteration < 1e-2
+        # interpreting a DFS node costs far more than merging one element
+        assert constants.seconds_per_iteration > constants.seconds_per_merge_element
+
+    def test_describe(self, constants):
+        s = constants.describe()
+        assert "µs" in s and "ns" in s
+
+
+class TestPrediction:
+    def test_within_order_of_magnitude(self, constants, g):
+        """Calibrated predictions must land within ~10x of reality — the
+        usable band for budget decisions."""
+        stats = GraphStats.of(g)
+        model = CalibratedModel(stats, constants)
+        pattern = triangle()
+        config = Configuration(pattern, (0, 1, 2), frozenset({(1, 0), (2, 1)}))
+        plan = config.compile()
+        predicted = model.predict_seconds(plan)
+        t0 = time.perf_counter()
+        Engine(g, plan).count()
+        measured = time.perf_counter() - t0
+        assert measured / 10 <= predicted <= measured * 10
+
+    def test_ranking_preserved_within_pattern(self, constants, g):
+        """Predicted-seconds ordering must agree with the abstract model's
+        ordering on the best-vs-worst configuration of one pattern."""
+        from repro.core.perf_model import estimate_cost
+
+        stats = GraphStats.of(g)
+        model = CalibratedModel(stats, constants)
+        pattern = house()
+        rs = generate_restriction_sets(pattern)[0]
+        plans = [
+            Configuration(pattern, s, rs).compile()
+            for s in generate_schedules(pattern, dedup_automorphic=True)
+        ]
+        abstract = [estimate_cost(p, stats) for p in plans]
+        seconds = [model.predict_seconds(p) for p in plans]
+        best_abs, worst_abs = min(range(len(plans)), key=lambda i: abstract[i]), max(
+            range(len(plans)), key=lambda i: abstract[i]
+        )
+        assert seconds[best_abs] <= seconds[worst_abs]
+
+    def test_larger_pattern_costs_more(self, constants, g):
+        stats = GraphStats.of(g)
+        model = CalibratedModel(stats, constants)
+        tri = Configuration(triangle(), (0, 1, 2), frozenset({(1, 0), (2, 1)}))
+        rect_rs = generate_restriction_sets(rectangle())[0]
+        rect = Configuration(rectangle(), generate_schedules(rectangle())[0], rect_rs)
+        assert model.predict_config_seconds(rect) > model.predict_config_seconds(tri)
+
+    def test_iep_plan_predictable(self, constants, g):
+        stats = GraphStats.of(g)
+        model = CalibratedModel(stats, constants)
+        matcher = PatternMatcher(rectangle(), use_codegen=False)
+        rep = matcher.plan(g, use_iep=True, codegen=False)
+        assert model.predict_seconds(rep.plan) > 0
+
+    def test_custom_constants_injectable(self, g):
+        stats = GraphStats.of(g)
+        fake = HostConstants(seconds_per_iteration=1.0, seconds_per_merge_element=0.0)
+        model = CalibratedModel(stats, fake)
+        config = Configuration(triangle(), (0, 1, 2), frozenset({(1, 0), (2, 1)}))
+        plan = config.compile()
+        # with unit iteration price, prediction equals the iteration count
+        assert model.predict_seconds(plan) > 1.0

@@ -1,0 +1,118 @@
+"""Configuration compilation: dependency and restriction placement."""
+
+import pytest
+
+from repro.core.config import Configuration, compile_plan, enumerate_configurations
+from repro.core.restrictions import generate_restriction_sets
+from repro.pattern.catalog import cycle_6_tri, house, rectangle, triangle
+
+
+class TestConfiguration:
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            Configuration(triangle(), (0, 1), frozenset())
+        with pytest.raises(ValueError):
+            Configuration(triangle(), (0, 1, 1), frozenset())
+
+    def test_rejects_bad_restrictions(self):
+        with pytest.raises(ValueError):
+            Configuration(triangle(), (0, 1, 2), frozenset({(0, 9)}))
+
+    def test_describe(self):
+        c = Configuration(triangle(), (0, 1, 2), frozenset({(0, 1)}))
+        assert "id(0)>id(1)" in c.describe()
+
+
+class TestCompile:
+    def test_house_plan_matches_fig5(self):
+        """Schedule A..E with id(A)>id(B): the break sits in loop B."""
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), frozenset({(0, 1)}))
+        plan = cfg.compile()
+        assert plan.deps == ((), (0,), (0,), (1, 2), (0, 1))
+        # id(0)>id(1): vertex 1 is bound later (depth 1), so its loop gets
+        # an upper bound from depth 0.
+        assert plan.upper[1] == (0,)
+        assert all(not plan.lower[d] for d in range(5))
+
+    def test_restriction_direction_lower(self):
+        # id(1)>id(0) with 1 bound later → lower bound at depth 1.
+        cfg = Configuration(triangle(), (0, 1, 2), frozenset({(1, 0)}))
+        plan = cfg.compile()
+        assert plan.lower[1] == (0,)
+        assert plan.upper[1] == ()
+
+    def test_restriction_checked_at_later_depth(self):
+        # Restriction between schedule positions 0 and 2.
+        cfg = Configuration(triangle(), (2, 1, 0), frozenset({(2, 0)}))
+        plan = cfg.compile()
+        # vertex 2 at depth 0, vertex 0 at depth 2: checked at depth 2,
+        # id(2)>id(0) → candidates at depth 2 must be < value at depth 0.
+        assert plan.upper[2] == (0,)
+
+    def test_n_loops_without_iep(self):
+        plan = Configuration(house(), (0, 1, 2, 3, 4), frozenset()).compile()
+        assert plan.n == 5 and plan.n_loops == 5 and plan.iep_k == 0
+
+    def test_restriction_depth_rows(self):
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), frozenset({(0, 1)}))
+        rows = cfg.compile().restriction_depths()
+        assert rows == [(1, 0, False)]
+
+
+class TestCompileIEP:
+    def test_iep_k_out_of_range(self):
+        cfg = Configuration(triangle(), (0, 1, 2), frozenset())
+        with pytest.raises(ValueError):
+            cfg.compile(iep_k=3)
+
+    def test_iep_needs_independent_suffix(self):
+        # K3's suffix of 2 is never independent.
+        cfg = Configuration(triangle(), (0, 1, 2), frozenset())
+        with pytest.raises(ValueError, match="independent suffix"):
+            cfg.compile(iep_k=2)
+
+    def test_house_iep2(self):
+        sets = generate_restriction_sets(house())
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), sets[0])
+        plan = cfg.compile(iep_k=2)
+        assert plan.n_loops == 3
+        assert plan.iep_k == 2
+
+    def test_outer_inner_restriction_kept_as_bound(self):
+        """id(0)>id(4) with 4 inner: kept as an upper bound at depth 4."""
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), frozenset({(0, 4), (0, 1)}))
+        plan = cfg.compile(iep_k=2)
+        assert (0, 4) not in plan.dropped_restrictions
+        assert plan.upper[4] == (0,)
+
+    def test_inner_inner_restriction_dropped(self):
+        """id(3)>id(4) with both inner: dropped, divisor compensates."""
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), frozenset({(3, 4), (0, 1)}))
+        plan = cfg.compile(iep_k=2)
+        assert (3, 4) in plan.dropped_restrictions
+        assert plan.iep_overcount >= 1
+
+    def test_no_drop_means_divisor_one(self):
+        cfg = Configuration(house(), (0, 1, 2, 3, 4), frozenset({(0, 1)}))
+        plan = cfg.compile(iep_k=2)
+        assert plan.dropped_restrictions == frozenset()
+        assert plan.iep_overcount == 1
+
+    def test_cycle6tri_iep3(self):
+        p = cycle_6_tri()
+        sets = generate_restriction_sets(p)
+        cfg = Configuration(p, (0, 1, 2, 3, 4, 5), sets[0])
+        plan = cfg.compile(iep_k=3)
+        assert plan.n_loops == 3
+
+
+class TestEnumerate:
+    def test_cartesian_product(self):
+        scheds = [(0, 1, 2), (1, 0, 2)]
+        sets = [frozenset(), frozenset({(0, 1)})]
+        configs = enumerate_configurations(triangle(), scheds, sets)
+        assert len(configs) == 4
+
+    def test_compile_plan_function(self):
+        cfg = Configuration(rectangle(), (0, 1, 2, 3), frozenset())
+        assert compile_plan(cfg).n == 4

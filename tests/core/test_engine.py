@@ -1,0 +1,157 @@
+"""The nested-loop execution engine against oracles and known counts."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count, bruteforce_enumerate
+from repro.core.config import Configuration
+from repro.core.engine import Engine, count_embeddings, enumerate_embeddings
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.generators import complete_graph, empty_graph, erdos_renyi
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.catalog import clique, house, rectangle, triangle
+
+
+def make_plan(pattern, schedule=None, restrictions=None, iep_k=0):
+    schedule = schedule or generate_schedules(pattern)[0]
+    if restrictions is None:
+        restrictions = generate_restriction_sets(pattern)[0]
+    return Configuration(pattern, tuple(schedule), frozenset(restrictions)).compile(iep_k=iep_k)
+
+
+class TestKnownCounts:
+    @pytest.mark.parametrize("n,expected", [(3, 1), (4, 4), (5, 10), (6, 20)])
+    def test_triangles_in_complete_graphs(self, n, expected):
+        g = complete_graph(n)
+        assert Engine(g, make_plan(triangle())).count() == expected
+
+    def test_k4s_in_k6(self):
+        assert Engine(complete_graph(6), make_plan(clique(4))).count() == 15
+
+    def test_rectangles_in_k5(self):
+        # C(5,4) * 3 distinct 4-cycles per vertex set = 15.
+        assert Engine(complete_graph(5), make_plan(rectangle())).count() == 15
+
+    def test_pattern_larger_than_graph(self):
+        assert Engine(complete_graph(3), make_plan(clique(4))).count() == 0
+
+    def test_empty_graph(self):
+        assert Engine(empty_graph(10), make_plan(triangle())).count() == 0
+
+
+class TestNoRestrictions:
+    def test_counts_all_automorphic_images(self, er_small):
+        """Without restrictions every embedding is found |Aut| times —
+        the redundancy the paper eliminates."""
+        pattern = triangle()
+        plan = make_plan(pattern, restrictions=frozenset())
+        distinct = bruteforce_count(er_small, pattern)
+        assert Engine(er_small, plan).count() == distinct * automorphism_count(pattern)
+
+
+class TestAgainstBruteForce:
+    def test_all_patterns_all_schedules(self, er_small, all_small_patterns):
+        for pattern in all_small_patterns:
+            expected = bruteforce_count(er_small, pattern)
+            schedules = generate_schedules(pattern, dedup_automorphic=True)[:4]
+            rsets = generate_restriction_sets(pattern)[:3]
+            for schedule in schedules:
+                for rs in rsets:
+                    plan = Configuration(pattern, schedule, rs).compile()
+                    assert Engine(er_small, plan).count() == expected, (
+                        pattern.name,
+                        schedule,
+                        sorted(rs),
+                    )
+
+    def test_inefficient_schedule_still_correct(self, er_small):
+        """Phase-1-violating schedules are slower but not wrong."""
+        pattern = house()
+        bad = (2, 3, 4, 0, 1)  # E not adjacent to C or D
+        plan = Configuration(pattern, bad, generate_restriction_sets(pattern)[0]).compile()
+        assert Engine(er_small, plan).count() == bruteforce_count(er_small, pattern)
+
+
+class TestEnumeration:
+    def test_yields_pattern_indexed_tuples(self, er_small):
+        pattern = triangle()
+        plan = make_plan(pattern)
+        for emb in Engine(er_small, plan).enumerate_embeddings(limit=20):
+            a, b, c = emb
+            assert er_small.has_edge(a, b)
+            assert er_small.has_edge(a, c)
+            assert er_small.has_edge(b, c)
+            assert len({a, b, c}) == 3
+
+    def test_matches_bruteforce_as_sets(self, er_small):
+        pattern = house()
+        plan = make_plan(pattern)
+        ours = {frozenset(e) for e in Engine(er_small, plan).enumerate_embeddings()}
+        brute = {frozenset(e) for e in bruteforce_enumerate(er_small, pattern)}
+        assert ours == brute
+
+    def test_no_duplicates(self, er_small):
+        pattern = rectangle()
+        plan = make_plan(pattern)
+        embs = list(Engine(er_small, plan).enumerate_embeddings())
+        assert len(embs) == len(set(embs))
+        assert len(embs) == Engine(er_small, plan).count()
+
+    def test_limit(self, er_small):
+        plan = make_plan(triangle())
+        assert len(list(Engine(er_small, plan).enumerate_embeddings(limit=5))) == 5
+
+    def test_iep_plan_cannot_enumerate(self, er_small):
+        plan = make_plan(house(), schedule=(0, 1, 2, 3, 4), iep_k=2)
+        with pytest.raises(ValueError):
+            next(Engine(er_small, plan).enumerate_embeddings())
+
+    def test_enumerate_on_too_small_graph(self):
+        plan = make_plan(clique(4))
+        assert list(Engine(complete_graph(3), plan).enumerate_embeddings()) == []
+
+
+class TestPrefixes:
+    def test_prefix_counts_sum_to_total(self, er_small):
+        pattern = house()
+        plan = make_plan(pattern)
+        engine = Engine(er_small, plan)
+        total = engine.count()
+        for depth in (1, 2, 3):
+            parts = [engine.count_prefix(p) for p in engine.iter_prefixes(depth)]
+            assert engine.finalize_count(sum(parts)) == total
+
+    def test_prefixes_respect_restrictions(self, er_small):
+        pattern = triangle()
+        plan = make_plan(pattern, schedule=(0, 1, 2), restrictions={(0, 1), (1, 2)})
+        engine = Engine(er_small, plan)
+        for prefix in engine.iter_prefixes(2):
+            assert prefix[0] > prefix[1]  # id(0)>id(1) already enforced
+
+    def test_invalid_split_depth(self, er_small):
+        engine = Engine(er_small, make_plan(triangle()))
+        with pytest.raises(ValueError):
+            list(engine.iter_prefixes(0))
+        with pytest.raises(ValueError):
+            list(engine.iter_prefixes(3))
+
+    def test_iep_prefix_sum(self, er_small):
+        plan = make_plan(house(), schedule=(0, 1, 2, 3, 4), iep_k=2)
+        engine = Engine(er_small, plan)
+        parts = [engine.count_prefix(p) for p in engine.iter_prefixes(1)]
+        assert engine.finalize_count(sum(parts)) == engine.count()
+
+
+class TestConvenienceWrappers:
+    def test_count_from_configuration(self, er_small):
+        cfg = Configuration(triangle(), (0, 1, 2), generate_restriction_sets(triangle())[0])
+        assert count_embeddings(er_small, cfg) == bruteforce_count(er_small, triangle())
+
+    def test_enumerate_from_configuration(self, er_small):
+        cfg = Configuration(triangle(), (0, 1, 2), generate_restriction_sets(triangle())[0])
+        embs = list(enumerate_embeddings(er_small, cfg, limit=3))
+        assert len(embs) == 3
+
+    def test_type_error(self, er_small):
+        with pytest.raises(TypeError):
+            count_embeddings(er_small, "not a plan")

@@ -1,0 +1,130 @@
+"""Engine edge cases and internal behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.restrictions import generate_restriction_sets
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import complete_graph, empty_graph, erdos_renyi
+from repro.pattern.catalog import clique, house, path, star, triangle
+from repro.pattern.pattern import Pattern
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        plan = Configuration(triangle(), (0, 1, 2), frozenset()).compile()
+        assert Engine(empty_graph(8), plan).count() == 0
+
+    def test_single_edge_graph(self):
+        g = graph_from_edges([(0, 1)])
+        plan = Configuration(triangle(), (0, 1, 2), frozenset()).compile()
+        assert Engine(g, plan).count() == 0
+
+    def test_exact_size_match(self):
+        g = complete_graph(4)
+        rs = generate_restriction_sets(clique(4))[0]
+        plan = Configuration(clique(4), (0, 1, 2, 3), rs).compile()
+        assert Engine(g, plan).count() == 1
+
+    def test_star_graph_stars(self):
+        # Star data graph: hub 0 with 5 leaves; star-3 pattern counts
+        # C(5,3) = 10 hub-anchored embeddings.
+        g = graph_from_edges([(0, i) for i in range(1, 6)])
+        pattern = star(3)
+        rs = generate_restriction_sets(pattern)[0]
+        plan = Configuration(pattern, (0, 1, 2, 3), rs).compile()
+        assert Engine(g, plan).count() == 10
+
+    def test_path_in_path(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3)])
+        pattern = path(4)
+        rs = generate_restriction_sets(pattern)[0]
+        plan = Configuration(pattern, (0, 1, 2, 3), rs).compile()
+        assert Engine(g, plan).count() == 1
+
+
+class TestCandidates:
+    def test_depth0_is_all_vertices(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        plan = Configuration(triangle(), (0, 1, 2), frozenset()).compile()
+        engine = Engine(g, plan)
+        assert engine.candidates(0, []).tolist() == list(range(20))
+
+    def test_single_dependency_is_neighbor_view(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        plan = Configuration(triangle(), (0, 1, 2), frozenset()).compile()
+        engine = Engine(g, plan)
+        cand = engine.candidates(1, [5])
+        assert cand.tolist() == g.neighbors(5).tolist()
+
+    def test_bounds_applied(self):
+        g = complete_graph(10)
+        plan = Configuration(
+            triangle(), (0, 1, 2), frozenset({(0, 1), (1, 2)})
+        ).compile()
+        engine = Engine(g, plan)
+        # id(0) > id(1): candidates at depth 1 must all be < assigned[0].
+        cand = engine.candidates(1, [4])
+        assert cand.tolist() == [0, 1, 2, 3]
+        # id(1) > id(2): depth 2 candidates below assigned[1].
+        cand2 = engine.candidates(2, [4, 2])
+        assert all(v < 2 for v in cand2)
+
+    def test_raw_cache_hits_consistent(self):
+        """The single-slot hoisting cache must never change results."""
+        g = erdos_renyi(25, 0.4, seed=3)
+        rs = generate_restriction_sets(house())[0]
+        plan = Configuration(house(), (0, 1, 2, 3, 4), rs).compile()
+        a = Engine(g, plan).count()
+        b = Engine(g, plan).count()  # fresh engine, fresh cache
+        engine = Engine(g, plan)
+        c = engine.count()
+        d = engine.count()  # same engine, reused cache
+        assert a == b == c == d
+
+
+class TestMultipleBoundsPerDepth:
+    def test_two_upper_bounds(self):
+        # Restrictions id(0)>id(2) and id(1)>id(2): depth of 2 takes the
+        # min of both bounds.
+        g = complete_graph(8)
+        plan = Configuration(
+            triangle(), (0, 1, 2), frozenset({(0, 2), (1, 2)})
+        ).compile()
+        engine = Engine(g, plan)
+        cand = engine.candidates(2, [5, 3])
+        assert all(v < 3 for v in cand)
+
+    def test_lower_and_upper_window(self):
+        pattern = path(3)  # 0-1-2
+        g = complete_graph(9)
+        # id(0) > id(2) and id(2) > id(1) — window around depth-2 values.
+        plan = Configuration(
+            pattern, (0, 1, 2), frozenset({(0, 2), (2, 1)})
+        ).compile()
+        engine = Engine(g, plan)
+        cand = engine.candidates(2, [6, 2])
+        assert all(2 < v < 6 for v in cand)
+
+
+class TestAsymmetricPatterns:
+    def test_no_restrictions_needed(self):
+        p = Pattern(6, [(0, 2), (0, 3), (0, 5), (1, 2), (1, 4), (2, 3)])
+        g = erdos_renyi(20, 0.4, seed=5)
+        from repro.baselines.bruteforce import bruteforce_count
+        from repro.core.schedule import generate_schedules
+
+        plan = Configuration(p, generate_schedules(p)[0], frozenset()).compile()
+        assert Engine(g, plan).count() == bruteforce_count(g, p)
+
+
+class TestLargePatternSmallGraph:
+    @pytest.mark.parametrize("n_graph", [1, 2, 3, 4])
+    def test_never_negative_or_crash(self, n_graph):
+        g = complete_graph(n_graph)
+        rs = generate_restriction_sets(house())[0]
+        plan = Configuration(house(), (0, 1, 2, 3, 4), rs).compile()
+        count = Engine(g, plan).count()
+        assert count == 0

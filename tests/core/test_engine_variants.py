@@ -1,0 +1,86 @@
+"""PreSliceEngine: identical counts, different evaluation order."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import bruteforce_count
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.engine_variants import PreSliceEngine
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+
+PATTERNS = [triangle(), rectangle(), house(), pentagon(), clique(4)]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(45, 0.22, seed=71)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.name)
+def test_counts_match_stock_engine(pattern, g):
+    rs = generate_restriction_sets(pattern)[0]
+    schedule = generate_schedules(pattern)[0]
+    plan = Configuration(pattern, schedule, rs).compile()
+    assert PreSliceEngine(g, plan).count() == Engine(g, plan).count()
+
+
+@pytest.mark.parametrize("pattern", [triangle(), rectangle(), house()],
+                         ids=lambda p: p.name)
+def test_counts_match_bruteforce(pattern, g):
+    rs = generate_restriction_sets(pattern)[0]
+    schedule = generate_schedules(pattern)[0]
+    plan = Configuration(pattern, schedule, rs).compile()
+    assert PreSliceEngine(g, plan).count() == bruteforce_count(g, pattern)
+
+
+def test_all_restriction_sets_agree(g):
+    pattern = rectangle()
+    schedule = generate_schedules(pattern)[0]
+    expected = bruteforce_count(g, pattern)
+    for rs in generate_restriction_sets(pattern):
+        plan = Configuration(pattern, schedule, rs).compile()
+        assert PreSliceEngine(g, plan).count() == expected
+
+
+def test_enumeration_matches(g):
+    pattern = house()
+    rs = generate_restriction_sets(pattern)[0]
+    schedule = generate_schedules(pattern)[0]
+    plan = Configuration(pattern, schedule, rs).compile()
+    a = sorted(Engine(g, plan).enumerate_embeddings())
+    b = sorted(PreSliceEngine(g, plan).enumerate_embeddings())
+    assert a == b
+
+
+def test_no_restrictions_identical(g):
+    pattern = triangle()
+    schedule = generate_schedules(pattern)[0]
+    plan = Configuration(pattern, schedule, frozenset()).compile()
+    assert PreSliceEngine(g, plan).count() == Engine(g, plan).count()
+
+
+def test_complete_graph_chain():
+    g = complete_graph(9)
+    pattern = clique(4)
+    chain = frozenset((i + 1, i) for i in range(3))
+    plan = Configuration(pattern, tuple(range(4)), chain).compile()
+    # C(9,4) distinct 4-cliques
+    assert PreSliceEngine(g, plan).count() == 126
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(8, 30), st.integers(0, 500))
+def test_property_equivalence_random(n, seed):
+    g = erdos_renyi(n, 0.3, seed=seed)
+    for pattern in (triangle(), rectangle()):
+        rs = generate_restriction_sets(pattern)[0]
+        schedule = generate_schedules(pattern)[0]
+        plan = Configuration(pattern, schedule, rs).compile()
+        assert PreSliceEngine(g, plan).count() == Engine(g, plan).count()

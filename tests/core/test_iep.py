@@ -1,0 +1,158 @@
+"""Inclusion–Exclusion counting (§IV-D, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.iep import (
+    count_distinct_tuples,
+    count_distinct_tuples_pairs,
+    partition_coefficient,
+    set_partitions,
+)
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules, independent_suffix_size
+from repro.graph.generators import erdos_renyi
+from repro.graph.intersection import VERTEX_DTYPE
+from repro.pattern.catalog import cycle_6_tri, house, rectangle_house
+
+
+def arr(*xs):
+    return np.asarray(xs, dtype=VERTEX_DTYPE)
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("k,bell", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)])
+    def test_bell_numbers(self, k, bell):
+        assert len(set_partitions(k)) == bell
+
+    def test_blocks_partition_the_ground_set(self):
+        for partition in set_partitions(4):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [0, 1, 2, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            set_partitions(-1)
+
+
+class TestPartitionCoefficient:
+    def test_singletons(self):
+        assert partition_coefficient([(0,), (1,)]) == 1
+
+    def test_pair(self):
+        assert partition_coefficient([(0, 1)]) == -1
+
+    def test_triple(self):
+        assert partition_coefficient([(0, 1, 2)]) == 2
+
+    def test_mixed(self):
+        # (-1)^1 1! * (-1)^2 2! = -2
+        assert partition_coefficient([(0, 1), (2, 3, 4)]) == -2
+
+
+class TestDistinctTuples:
+    def test_k0(self):
+        assert count_distinct_tuples([]) == 1
+
+    def test_single_set(self):
+        assert count_distinct_tuples([arr(1, 2, 3)]) == 3
+
+    def test_two_disjoint(self):
+        assert count_distinct_tuples([arr(1, 2), arr(3, 4)]) == 4
+
+    def test_two_identical(self):
+        s = arr(1, 2, 3)
+        assert count_distinct_tuples([s, s]) == 6  # 3*3 - 3
+
+    def test_paper_identity_k2(self):
+        a, b = arr(1, 2, 3, 4), arr(3, 4, 5)
+        assert count_distinct_tuples([a, b]) == 4 * 3 - 2
+
+    def test_three_identical(self):
+        s = arr(1, 2, 3, 4)
+        # Injective maps [3] -> S: 4*3*2.
+        assert count_distinct_tuples([s, s, s]) == 24
+
+    def test_brute_force_cross_check(self):
+        rng = np.random.default_rng(17)
+        for _ in range(30):
+            k = int(rng.integers(1, 4))
+            sets = [
+                np.unique(rng.integers(0, 8, size=rng.integers(0, 7))).astype(VERTEX_DTYPE)
+                for _ in range(k)
+            ]
+            from itertools import product
+
+            expected = sum(
+                1
+                for combo in product(*[s.tolist() for s in sets])
+                if len(set(combo)) == k
+            )
+            assert count_distinct_tuples(sets) == expected, sets
+
+    def test_partition_equals_pairs_formulation(self):
+        """The partition-lattice collapse must agree with the paper's
+        literal sum over pair subsets (Algorithm 2 applied to every term)."""
+        rng = np.random.default_rng(23)
+        for _ in range(20):
+            k = int(rng.integers(1, 5))
+            sets = [
+                np.unique(rng.integers(0, 12, size=rng.integers(0, 9))).astype(VERTEX_DTYPE)
+                for _ in range(k)
+            ]
+            assert count_distinct_tuples(sets) == count_distinct_tuples_pairs(sets)
+
+    def test_empty_set_among_inputs(self):
+        assert count_distinct_tuples([arr(1, 2), arr()]) == 0
+
+
+class TestEngineIEPEquivalence:
+    """IEP counting must equal plain counting for every configuration."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_house_all_k(self, seed):
+        g = erdos_renyi(45, 0.25, seed=seed)
+        pattern = house()
+        sets = generate_restriction_sets(pattern)
+        for schedule in generate_schedules(pattern, dedup_automorphic=True)[:3]:
+            for rs in sets[:3]:
+                cfg = Configuration(pattern, schedule, rs)
+                baseline = Engine(g, cfg.compile()).count()
+                for k in (1, 2):
+                    try:
+                        plan = cfg.compile(iep_k=k)
+                    except ValueError:
+                        continue
+                    assert Engine(g, plan).count() == baseline, (schedule, sorted(rs), k)
+
+    def test_cycle6tri_k3(self):
+        g = erdos_renyi(30, 0.3, seed=5)
+        pattern = cycle_6_tri()
+        rs = generate_restriction_sets(pattern)[0]
+        cfg = Configuration(pattern, (0, 1, 2, 3, 4, 5), rs)
+        baseline = Engine(g, cfg.compile()).count()
+        plan = cfg.compile(iep_k=3)
+        assert plan.iep_k == 3
+        assert Engine(g, plan).count() == baseline
+
+    def test_rectangle_house_iep(self):
+        g = erdos_renyi(32, 0.28, seed=9)
+        pattern = rectangle_house()
+        rs = generate_restriction_sets(pattern)[0]
+        k = independent_suffix_size(pattern)
+        for schedule in generate_schedules(pattern, dedup_automorphic=True)[:2]:
+            cfg = Configuration(pattern, schedule, rs)
+            baseline = Engine(g, cfg.compile()).count()
+            from repro.core.schedule import intersection_free_suffix_length
+
+            kk = min(k, intersection_free_suffix_length(pattern, schedule))
+            if kk > 0:
+                from repro.core.restrictions import NonUniformOvercountError
+
+                try:
+                    plan = cfg.compile(iep_k=kk)
+                except NonUniformOvercountError:
+                    continue
+                assert Engine(g, plan).count() == baseline

@@ -1,0 +1,143 @@
+"""Extended performance model (4-cycle structural information, §V-C)."""
+
+import pytest
+
+from repro.core.config import Configuration, enumerate_configurations
+from repro.core.perf_model import PerformanceModel
+from repro.core.perf_model_ext import (
+    ExtendedGraphStats,
+    ExtendedPerformanceModel,
+    estimate_cost_ext,
+    four_cycle_count,
+    four_cycle_count_sampled,
+    loop_size_estimates_ext,
+)
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import complete_graph, erdos_renyi, watts_strogatz
+from repro.pattern.catalog import paper_patterns, rectangle, rectangle_house, triangle
+
+
+class TestFourCycleCount:
+    def test_single_square(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert four_cycle_count(g) == 1
+
+    def test_triangle_has_none(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        assert four_cycle_count(g) == 0
+
+    def test_complete_graphs(self):
+        # K_n contains 3 * C(n,4) distinct 4-cycles.
+        from math import comb
+
+        for n in (4, 5, 6):
+            assert four_cycle_count(complete_graph(n)) == 3 * comb(n, 4)
+
+    def test_k23_bipartite(self):
+        # K_{2,3}: choose both left vertices and any 2 right: C(3,2) = 3.
+        g = graph_from_edges([(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+        assert four_cycle_count(g) == 3
+
+    def test_sampled_close_to_exact(self):
+        g = erdos_renyi(120, 0.1, seed=3)
+        exact = four_cycle_count(g)
+        est = four_cycle_count_sampled(g, max_pairs=4000, seed=5)
+        assert est == pytest.approx(exact, rel=0.5)
+
+    def test_sampled_falls_back_to_exact_when_small(self):
+        g = erdos_renyi(30, 0.2, seed=1)
+        assert four_cycle_count_sampled(g, max_pairs=10**6) == four_cycle_count(g)
+
+
+class TestExtendedStats:
+    def test_of(self):
+        s = ExtendedGraphStats.of(complete_graph(6))
+        assert s.four_cycles == four_cycle_count(complete_graph(6))
+        assert s.wedges > 0
+
+    def test_rectangle_regime_estimator(self):
+        # On a square-rich, triangle-poor graph the non-adjacent common-
+        # neighbour estimate must exceed the triangle-based estimate.
+        g = watts_strogatz(300, k=2, beta=0.0, seed=1)  # ring: no squares...
+        s = ExtendedGraphStats.of(erdos_renyi(200, 0.08, seed=2))
+        assert s.expected_common_nonadjacent >= 1.0
+
+
+class TestExtendedCosts:
+    def test_rectangle_dependency_uses_rect_estimator(self):
+        """In the rectangle pattern scheduled (0,1,2,3), vertex 3's deps
+        {0, 2} are non-adjacent — the extended model must treat it as the
+        4-cycle regime, the base model as the triangle regime."""
+        g = watts_strogatz(400, k=3, beta=0.05, seed=7)  # clustered
+        ext = ExtendedGraphStats.of(g)
+        cfg = Configuration(rectangle(), (0, 1, 2, 3), frozenset())
+        plan = cfg.compile()
+        ls_ext = loop_size_estimates_ext(plan, ext)
+        from repro.core.perf_model import loop_size_estimates
+
+        ls_base = loop_size_estimates(plan, ext.base)
+        assert ls_ext[3] != ls_base[3]
+
+    def test_triangle_pattern_unchanged(self):
+        """Pure-triangle dependencies must reproduce the base model."""
+        g = erdos_renyi(150, 0.1, seed=11)
+        ext = ExtendedGraphStats.of(g)
+        cfg = Configuration(triangle(), (0, 1, 2), frozenset({(0, 1)}))
+        plan = cfg.compile()
+        from repro.core.perf_model import estimate_cost
+
+        assert estimate_cost_ext(plan, ext) == pytest.approx(
+            estimate_cost(plan, ext.base), rel=1e-9
+        )
+
+    def test_ranking_works(self):
+        g = erdos_renyi(150, 0.1, seed=13)
+        ext = ExtendedGraphStats.of(g)
+        pattern = rectangle_house()  # P4: the misprediction case
+        configs = enumerate_configurations(
+            pattern,
+            generate_schedules(pattern, dedup_automorphic=True)[:6],
+            generate_restriction_sets(pattern, max_sets=4),
+        )
+        model = ExtendedPerformanceModel(ext)
+        ranked = model.rank(configs)
+        costs = [r.predicted_cost for r in ranked]
+        assert costs == sorted(costs)
+        assert model.choose(configs).predicted_cost == costs[0]
+
+    def test_choose_empty(self):
+        ext = ExtendedGraphStats.of(complete_graph(5))
+        with pytest.raises(ValueError):
+            ExtendedPerformanceModel(ext).choose([])
+
+    def test_p4_selection_quality(self):
+        """The extended model's pick for P4 should be no worse than the
+        base model's pick (measured), on a clustered graph — the exact
+        failure §V-C reports for the base model."""
+        import time
+
+        from repro.core.codegen import compile_plan_function
+
+        g = watts_strogatz(350, k=4, beta=0.15, seed=17)
+        ext = ExtendedGraphStats.of(g)
+        pattern = paper_patterns()["P4"]
+        rs = generate_restriction_sets(pattern, max_sets=4)[0]
+        configs = [
+            Configuration(pattern, s, rs)
+            for s in generate_schedules(pattern, dedup_automorphic=True)
+        ]
+        base_pick = PerformanceModel(ext.base).choose(configs)
+        ext_pick = ExtendedPerformanceModel(ext).choose(configs)
+
+        def measure(plan):
+            fn = compile_plan_function(plan)
+            t0 = time.perf_counter()
+            fn(g)
+            return time.perf_counter() - t0
+
+        t_base = measure(base_pick.plan)
+        t_ext = measure(ext_pick.plan)
+        # Loose: the extended pick must not be dramatically worse.
+        assert t_ext <= 3.0 * t_base

@@ -1,0 +1,149 @@
+"""2-phase computation-avoid schedule generation (§IV-B)."""
+
+from math import factorial
+
+import pytest
+
+from repro.core.schedule import (
+    all_schedules,
+    dedup_schedules,
+    generate_schedules,
+    has_independent_suffix,
+    independent_suffix_size,
+    intersection_free_suffix_length,
+    is_connected_prefix,
+    schedule_dependencies,
+)
+from repro.pattern.catalog import (
+    clique,
+    cycle_6_tri,
+    house,
+    pentagon,
+    rectangle,
+    star,
+    triangle,
+)
+from repro.pattern.pattern import Pattern
+
+
+class TestPhase1:
+    def test_paper_example(self):
+        """§IV-B phase 1: for the house, starting C, D, E is inefficient
+        because E is adjacent to neither C nor D."""
+        h = house()
+        # C=2, D=3, E=4.
+        assert not is_connected_prefix(h, (2, 3, 4, 0, 1))
+
+    def test_valid_prefix(self):
+        assert is_connected_prefix(house(), (0, 1, 2, 3, 4))
+
+    def test_every_clique_schedule_connected(self):
+        k4 = clique(4)
+        assert all(is_connected_prefix(k4, s) for s in all_schedules(k4))
+
+    def test_star_centre_late_fails(self):
+        # Leaves are pairwise non-adjacent: any schedule starting with two
+        # leaves has a disconnected prefix.
+        s = star(3)
+        assert not is_connected_prefix(s, (1, 2, 3, 0))
+        assert is_connected_prefix(s, (0, 1, 2, 3))
+
+
+class TestPhase2:
+    def test_k_values(self):
+        assert independent_suffix_size(clique(5)) == 1
+        assert independent_suffix_size(house()) == 2
+        assert independent_suffix_size(cycle_6_tri()) == 3
+
+    def test_house_suffix(self):
+        """Fig. 5: D and E are searched in the innermost two loops."""
+        h = house()
+        assert has_independent_suffix(h, (0, 1, 2, 3, 4), 2)  # ...D,E
+        assert not has_independent_suffix(h, (0, 2, 3, 1, 4), 2)  # ...B,E adj
+
+    def test_k1_trivially_true(self):
+        assert has_independent_suffix(clique(4), (0, 1, 2, 3), 1)
+
+
+class TestGeneration:
+    def test_phase1_reduces_space(self):
+        h = house()
+        phase1 = generate_schedules(h, phase1=True, phase2=False)
+        assert 0 < len(phase1) < factorial(5)
+
+    def test_phase2_reduces_further(self):
+        h = house()
+        phase1 = generate_schedules(h, phase1=True, phase2=False)
+        both = generate_schedules(h, phase1=True, phase2=True)
+        assert 0 < len(both) < len(phase1)
+
+    def test_generated_schedules_satisfy_both_phases(self):
+        p = cycle_6_tri()
+        k = independent_suffix_size(p)
+        for s in generate_schedules(p):
+            assert is_connected_prefix(p, s)
+            assert has_independent_suffix(p, s, k)
+
+    def test_all_schedules_are_permutations(self):
+        for s in generate_schedules(house()):
+            assert sorted(s) == [0, 1, 2, 3, 4]
+
+    def test_paper_fig5_schedule_survives(self):
+        """The paper's chosen house schedule A,B,C,D,E must be generated."""
+        assert (0, 1, 2, 3, 4) in generate_schedules(house())
+
+    def test_phase2_fallback_when_conflicting(self):
+        """For the rectangle, phase 1 (connected prefix) and phase 2
+        (independent last-2) are mutually exclusive — the generator must
+        fall back rather than return nothing."""
+        scheds = generate_schedules(rectangle())
+        assert len(scheds) > 0
+        assert all(is_connected_prefix(rectangle(), s) for s in scheds)
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            generate_schedules(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_dedup_reduces_by_group_order(self):
+        p = pentagon()  # |Aut| = 10, acts freely on schedules
+        full = generate_schedules(p, dedup_automorphic=False)
+        deduped = generate_schedules(p, dedup_automorphic=True)
+        assert len(full) == 10 * len(deduped)
+
+    def test_dedup_keeps_valid_schedules(self):
+        p = house()
+        for s in generate_schedules(p, dedup_automorphic=True):
+            assert is_connected_prefix(p, s)
+
+
+class TestDependencies:
+    def test_house_paper_dependencies(self):
+        """Fig. 5(b): candidate sets of the schedule A,B,C,D,E."""
+        deps = schedule_dependencies(house(), (0, 1, 2, 3, 4))
+        assert deps[0] == ()        # vA: all vertices
+        assert deps[1] == (0,)      # vB ∈ N(vA)
+        assert deps[2] == (0,)      # vC ∈ N(vA)
+        assert deps[3] == (1, 2)    # vD ∈ N(vB) ∩ N(vC)
+        assert deps[4] == (0, 1)    # vE ∈ N(vA) ∩ N(vB)
+
+    def test_cycle6tri_paper_dependencies(self):
+        """Fig. 6(b): S1 = N(A)∩N(B), S2 = N(A)∩N(C), S3 = N(B)∩N(C)."""
+        deps = schedule_dependencies(cycle_6_tri(), (0, 1, 2, 3, 4, 5))
+        assert deps[3] == (0, 1)
+        assert deps[4] == (0, 2)
+        assert deps[5] == (1, 2)
+
+
+class TestSuffixLength:
+    def test_house(self):
+        assert intersection_free_suffix_length(house(), (0, 1, 2, 3, 4)) == 2
+
+    def test_cycle6tri(self):
+        assert intersection_free_suffix_length(cycle_6_tri(), (0, 1, 2, 3, 4, 5)) == 3
+
+    def test_clique(self):
+        assert intersection_free_suffix_length(clique(4), (0, 1, 2, 3)) == 1
+
+    def test_capped_below_n(self):
+        # Even a fully independent... patterns are connected, so suffix < n.
+        assert intersection_free_suffix_length(triangle(), (0, 1, 2)) == 1

@@ -1,0 +1,111 @@
+"""Edge-list normalisation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import (
+    GraphBuilder,
+    build_graph_arrays,
+    graph_from_adjacency_matrix,
+    graph_from_edges,
+)
+
+
+class TestGraphBuilder:
+    def test_deduplicates_directed_pairs(self):
+        g = graph_from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_drops_self_loops(self):
+        g = graph_from_edges([(0, 0), (0, 1), (2, 2)])
+        assert g.n_edges == 1
+        # Compacted: only vertices that appear survive; 2 appeared only in
+        # a self-loop, which is dropped before compaction.
+        assert g.n_vertices == 2
+
+    def test_compacts_sparse_ids(self):
+        g = graph_from_edges([(100, 205), (205, 999)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+
+    def test_labels_roundtrip(self):
+        b = GraphBuilder()
+        b.add_edges([(100, 205), (205, 999)])
+        g, labels = b.build_with_labels()
+        assert labels.tolist() == [100, 205, 999]
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and not g.has_edge(0, 2)
+
+    def test_no_compaction_mode(self):
+        b = GraphBuilder(compact_ids=False)
+        b.add_edge(0, 5)
+        g = b.build()
+        assert g.n_vertices == 6
+        assert g.degree(3) == 0
+
+    def test_n_raw_edges(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (0, 1)])
+        assert b.n_raw_edges == 2
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.n_vertices == 0 and g.n_edges == 0
+
+    def test_rejects_negative_ids(self):
+        b = GraphBuilder()
+        b.add_edge(-1, 2)
+        with pytest.raises(ValueError):
+            b.build()
+
+
+class TestBuildArrays:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            build_graph_arrays(np.array([1, 2]), np.array([3]))
+
+    def test_adjacency_sorted_per_row(self):
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 50, 300)
+        dst = rng.integers(0, 50, 300)
+        g, _ = build_graph_arrays(src, dst)
+        for v in range(g.n_vertices):
+            assert np.all(np.diff(g.neighbors(v)) > 0)
+
+    def test_symmetric_storage(self):
+        g, _ = build_graph_arrays(np.array([0, 1]), np.array([1, 2]))
+        for u, v in [(0, 1), (1, 2)]:
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+
+
+class TestAdjacencyMatrix:
+    def test_round_trip(self):
+        mat = np.array(
+            [
+                [0, 1, 1, 0],
+                [1, 0, 0, 1],
+                [1, 0, 0, 1],
+                [0, 1, 1, 0],
+            ]
+        )
+        g = graph_from_adjacency_matrix(mat)
+        assert g.n_vertices == 4 and g.n_edges == 4
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            graph_from_adjacency_matrix(np.array([[0, 1], [0, 0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            graph_from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_trailing_isolated_vertices_preserved(self):
+        mat = np.zeros((4, 4), dtype=int)
+        mat[0, 1] = mat[1, 0] = 1
+        g = graph_from_adjacency_matrix(mat)
+        assert g.n_vertices == 4
+        assert g.degree(3) == 0
+
+    def test_all_isolated(self):
+        g = graph_from_adjacency_matrix(np.zeros((3, 3), dtype=int))
+        assert g.n_vertices == 3 and g.n_edges == 0

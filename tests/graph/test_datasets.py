@@ -1,0 +1,93 @@
+"""Dataset proxies: registry, determinism, caching, scaling."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    SINGLE_NODE_DATASETS,
+    clear_memo,
+    dataset_names,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_six_paper_graphs_present(self):
+        assert set(dataset_names()) == {
+            "wiki-vote",
+            "mico",
+            "patents",
+            "livejournal",
+            "orkut",
+            "twitter",
+        }
+
+    def test_single_node_set_excludes_twitter(self):
+        assert "twitter" not in SINGLE_NODE_DATASETS
+        assert len(SINGLE_NODE_DATASETS) == 5
+
+    def test_specs_have_paper_sizes(self):
+        assert DATASETS["twitter"].paper_edges == "1.2B"
+        assert DATASETS["wiki-vote"].paper_vertices == "7.1K"
+
+
+class TestLoading:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_deterministic(self):
+        clear_memo()
+        a = load_dataset("wiki-vote", scale=0.1, seed=1)
+        clear_memo()
+        b = load_dataset("wiki-vote", scale=0.1, seed=1)
+        assert a == b
+
+    def test_memoised(self):
+        clear_memo()
+        a = load_dataset("wiki-vote", scale=0.1, seed=1)
+        b = load_dataset("wiki-vote", scale=0.1, seed=1)
+        assert a is b
+
+    def test_scale_changes_size(self):
+        clear_memo()
+        small = load_dataset("mico", scale=0.05, seed=2)
+        large = load_dataset("mico", scale=0.2, seed=2)
+        assert large.n_vertices > small.n_vertices
+
+    def test_named(self):
+        g = load_dataset("orkut", scale=0.05, seed=3)
+        assert g.name == "orkut"
+
+    def test_real_file_bypass(self, tmp_path):
+        f = tmp_path / "real.txt"
+        f.write_text("0 1\n1 2\n")
+        g = load_dataset("wiki-vote", path=f)
+        assert g.n_edges == 2
+
+    def test_disk_cache(self, tmp_path):
+        clear_memo()
+        a = load_dataset("patents", scale=0.02, seed=4, cache_dir=tmp_path)
+        clear_memo()
+        b = load_dataset("patents", scale=0.02, seed=4, cache_dir=tmp_path)
+        assert a == b
+        assert any(p.suffix == ".npz" for p in tmp_path.iterdir())
+
+
+class TestProxyCharacter:
+    """The proxies must preserve the *regime* of each paper graph."""
+
+    def test_orkut_denser_than_livejournal(self):
+        lj = load_dataset("livejournal", scale=0.08, seed=7)
+        ok = load_dataset("orkut", scale=0.08, seed=7)
+        assert ok.avg_degree > lj.avg_degree
+
+    def test_patents_clustered(self):
+        from repro.graph.stats import global_clustering
+
+        patents = load_dataset("patents", scale=0.05, seed=7)
+        assert global_clustering(patents) > 0.1  # WS lattice remnants
+
+    def test_powerlaw_proxies_are_skewed(self):
+        wiki = load_dataset("wiki-vote", scale=0.5, seed=7)
+        assert wiki.max_degree > 5 * wiki.avg_degree

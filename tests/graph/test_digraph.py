@@ -1,0 +1,162 @@
+"""DiGraph: construction invariants, accessors, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import (
+    DiGraph,
+    digraph_from_edges,
+    price_citation_graph,
+    random_digraph,
+)
+from repro.graph.generators import erdos_renyi
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = digraph_from_edges([(0, 1), (1, 2), (2, 0)])
+        assert g.n_vertices == 3
+        assert g.n_arcs == 3
+        assert g.has_arc(0, 1) and not g.has_arc(1, 0)
+
+    def test_duplicates_removed(self):
+        g = digraph_from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.n_arcs == 2  # antiparallel pair kept, duplicate dropped
+
+    def test_self_loops_dropped(self):
+        g = digraph_from_edges([(0, 1), (1, 1)])
+        assert g.n_arcs == 1
+
+    def test_n_vertices_padding(self):
+        g = digraph_from_edges([(0, 1)], n_vertices=5)
+        assert g.n_vertices == 5
+        assert g.out_degree(4) == 0 and g.in_degree(4) == 0
+
+    def test_n_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError, match="references vertex"):
+            digraph_from_edges([(0, 9)], n_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            digraph_from_edges([(-1, 2)])
+
+    def test_inconsistent_in_out_rejected(self):
+        # out says 0->1; in says the arc is 1->0.
+        with pytest.raises(ValueError, match="different arc sets"):
+            DiGraph(
+                out_indptr=np.array([0, 1, 1]),
+                out_indices=np.array([1]),
+                in_indptr=np.array([0, 1, 1]),
+                in_indices=np.array([1]),
+            )
+
+    def test_unsorted_rows_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DiGraph(
+                out_indptr=np.array([0, 2, 2, 2]),
+                out_indices=np.array([2, 1]),
+                in_indptr=np.array([0, 0, 1, 2]),
+                in_indices=np.array([0, 0]),
+            )
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = digraph_from_edges([(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2 and g.in_degree(0) == 0
+        assert g.out_degree(2) == 0 and g.in_degree(2) == 2
+
+    def test_neighbor_arrays_sorted(self):
+        g = random_digraph(30, 0.3, seed=7)
+        for v in range(g.n_vertices):
+            for arr in (g.out_neighbors(v), g.in_neighbors(v)):
+                assert np.all(np.diff(arr) > 0)
+
+    def test_arcs_roundtrip(self):
+        arcs = [(0, 1), (2, 1), (1, 3), (3, 0)]
+        g = digraph_from_edges(arcs)
+        assert sorted(g.arcs()) == sorted(arcs)
+
+    def test_out_in_duality(self):
+        g = random_digraph(25, 0.2, seed=11)
+        for u, v in g.arcs():
+            assert u in g.in_neighbors(v)
+
+
+class TestConversions:
+    def test_to_undirected_merges_antiparallel(self):
+        g = digraph_from_edges([(0, 1), (1, 0), (1, 2)])
+        u = g.to_undirected()
+        assert u.n_edges == 2
+
+    def test_from_undirected_symmetric(self):
+        und = erdos_renyi(40, 0.2, seed=3)
+        d = DiGraph.from_undirected(und)
+        assert d.n_arcs == 2 * und.n_edges
+        for u, v in list(d.arcs())[:100]:
+            assert d.has_arc(v, u)
+
+    def test_roundtrip_through_undirected(self):
+        und = erdos_renyi(30, 0.25, seed=5)
+        assert DiGraph.from_undirected(und).to_undirected().n_edges == und.n_edges
+
+    def test_to_undirected_preserves_isolated(self):
+        g = digraph_from_edges([(0, 1)], n_vertices=4)
+        assert g.to_undirected().n_vertices == 4
+
+
+class TestGenerators:
+    def test_random_digraph_seeded(self):
+        a = random_digraph(50, 0.1, seed=42)
+        b = random_digraph(50, 0.1, seed=42)
+        assert np.array_equal(a.out_indices, b.out_indices)
+
+    def test_random_digraph_density(self):
+        g = random_digraph(100, 0.1, seed=1)
+        expected = 0.1 * 100 * 99
+        assert 0.6 * expected < g.n_arcs < 1.4 * expected
+
+    def test_random_digraph_bad_p(self):
+        with pytest.raises(ValueError):
+            random_digraph(10, 1.5)
+
+    def test_price_model_acyclic(self):
+        g = price_citation_graph(60, out_degree=3, seed=9)
+        # every arc points from later to earlier vertex: a DAG by construction
+        for u, v in g.arcs():
+            assert u > v
+
+    def test_price_model_skewed_indegree(self):
+        g = price_citation_graph(300, out_degree=3, seed=13)
+        indegs = sorted(g.in_degree(v) for v in range(g.n_vertices))
+        # preferential attachment: max in-degree far above the median
+        assert indegs[-1] >= 5 * max(1, indegs[len(indegs) // 2])
+
+    def test_price_model_too_small(self):
+        with pytest.raises(ValueError):
+            price_citation_graph(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)),
+        max_size=60,
+    )
+)
+def test_property_construction_invariants(edges):
+    g = digraph_from_edges(edges) if edges else None
+    if g is None:
+        return
+    # out and in arc multisets agree
+    assert sorted(g.arcs()) == sorted((int(u), int(v)) for v in range(g.n_vertices)
+                                      for u in g.in_neighbors(v))
+    # no self loops survived
+    assert all(u != v for u, v in g.arcs())
+    # degree sums match arc count
+    assert sum(g.out_degree(v) for v in range(g.n_vertices)) == g.n_arcs
+    assert sum(g.in_degree(v) for v in range(g.n_vertices)) == g.n_arcs

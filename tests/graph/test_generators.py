@@ -1,0 +1,212 @@
+"""Synthetic graph generators: determinism, shape and degree structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    random_power_law,
+    watts_strogatz,
+)
+
+
+class TestCompleteGraph:
+    def test_k5(self):
+        g = complete_graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 10
+        for u in range(5):
+            for v in range(5):
+                assert g.has_edge(u, v) == (u != v)
+
+    def test_k1(self):
+        g = complete_graph(1)
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = erdos_renyi(100, 0.1, seed=5)
+        b = erdos_renyi(100, 0.1, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(100, 0.1, seed=5) != erdos_renyi(100, 0.1, seed=6)
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=1).n_edges == 0
+        assert erdos_renyi(10, 1.0, seed=1).n_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 300, 0.05
+        g = erdos_renyi(n, p, seed=7)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.n_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_vertex_count_includes_isolated(self):
+        g = erdos_renyi(50, 0.01, seed=3)
+        assert g.n_vertices == 50
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(200, m=3, seed=1)
+        # Each of the n-m new vertices adds exactly m edges (dedup may
+        # remove a handful when a target is drawn twice - we add to a set,
+        # so exactly m distinct targets per new vertex).
+        assert g.n_edges == (200 - 3) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, m=2, seed=2)
+        degrees = np.sort(g.degrees)[::-1]
+        # Hubs dominate: top degree far above the median.
+        assert degrees[0] > 4 * np.median(degrees)
+
+    def test_deterministic(self):
+        assert barabasi_albert(100, 2, seed=9) == barabasi_albert(100, 2, seed=9)
+
+    def test_m_ge_n_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_connected(self):
+        # BA graphs are connected by construction.
+        g = barabasi_albert(100, 2, seed=4)
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for u in g.neighbors(v):
+                if int(u) not in seen:
+                    seen.add(int(u))
+                    stack.append(int(u))
+        assert len(seen) == 100
+
+
+class TestChungLu:
+    def test_expected_degrees_tracked(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(2, 10, size=400)
+        g = chung_lu(w, seed=1)
+        # Mean degree should be near mean weight.
+        assert g.avg_degree == pytest.approx(w.mean(), rel=0.25)
+
+    def test_zero_weights(self):
+        g = chung_lu(np.zeros(5), seed=1)
+        assert g.n_edges == 0 and g.n_vertices == 5
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([1.0, -2.0]))
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([]))
+
+
+class TestPowerLaw:
+    def test_avg_degree_close(self):
+        g = random_power_law(800, avg_degree=10.0, exponent=2.5, seed=11)
+        assert g.avg_degree == pytest.approx(10.0, rel=0.35)
+
+    def test_skew_grows_with_lower_exponent(self):
+        heavy = random_power_law(800, 8.0, exponent=2.05, seed=1)
+        light = random_power_law(800, 8.0, exponent=3.5, seed=1)
+        assert heavy.max_degree > light.max_degree
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            random_power_law(10, 2.0, exponent=1.0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        g = watts_strogatz(20, k=2, beta=0.0, seed=1)
+        assert g.n_edges == 40
+        for v in range(20):
+            assert g.degree(v) == 4
+
+    def test_edge_count_stable_under_rewiring(self):
+        g = watts_strogatz(100, k=3, beta=0.5, seed=2)
+        # Rewiring can only lose edges to the dedup retry cap, never gain.
+        assert 0.9 * 300 <= g.n_edges <= 300
+
+    def test_clustering_decreases_with_beta(self):
+        from repro.graph.stats import global_clustering
+
+        low = watts_strogatz(300, k=4, beta=0.0, seed=3)
+        high = watts_strogatz(300, k=4, beta=0.9, seed=3)
+        assert global_clustering(low) > global_clustering(high)
+
+    def test_needs_n_over_2k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(6, k=3, beta=0.1)
+
+
+def test_empty_graph_zero_vertices():
+    g = empty_graph(0)
+    assert g.n_vertices == 0
+
+
+class TestRmat:
+    def test_size_and_determinism(self):
+        from repro.graph.generators import rmat
+
+        g1 = rmat(8, edge_factor=8, seed=5)
+        g2 = rmat(8, edge_factor=8, seed=5)
+        assert g1.n_vertices == 256
+        # dedup/self-loop removal only shrinks the requested count
+        assert 0 < g1.n_edges <= 8 * 256
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_seeds_differ(self):
+        from repro.graph.generators import rmat
+
+        a = rmat(7, seed=1)
+        b = rmat(7, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_degree_skew(self):
+        """Graph500 parameters produce heavy-tailed degrees: the max
+        degree dwarfs the mean (unlike ER at the same density)."""
+        from repro.graph.generators import erdos_renyi, rmat
+
+        g = rmat(10, edge_factor=8, seed=9)
+        mean_deg = 2 * g.n_edges / g.n_vertices
+        assert g.max_degree > 6 * mean_deg
+        er = erdos_renyi(g.n_vertices, 2 * g.n_edges / g.n_vertices**2, seed=9)
+        assert g.max_degree > 2 * er.max_degree
+
+    def test_invalid_probabilities(self):
+        from repro.graph.generators import rmat
+
+        with pytest.raises(ValueError, match="partition"):
+            rmat(5, a=0.8, b=0.3, c=0.2)
+
+    def test_invalid_sizes(self):
+        from repro.graph.generators import rmat
+
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, edge_factor=0)
+
+    def test_matcher_runs_on_rmat(self):
+        from repro.core.api import count_pattern
+        from repro.graph.generators import rmat
+        from repro.pattern.catalog import triangle
+
+        g = rmat(7, edge_factor=4, seed=11)
+        from repro.baselines.bruteforce import bruteforce_count
+
+        assert count_pattern(g, triangle(), use_iep=False) == bruteforce_count(
+            g, triangle()
+        )

@@ -1,0 +1,161 @@
+"""Sorted-array set algebra: every kernel against Python set semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.intersection import (
+    KERNELS,
+    VERTEX_DTYPE,
+    bounded_count,
+    bounded_slice,
+    contains,
+    count_members,
+    difference,
+    empty_vertex_array,
+    intersect,
+    intersect_count,
+    intersect_galloping,
+    intersect_many,
+    intersect_merge,
+    intersect_searchsorted,
+)
+
+
+def arr(*xs):
+    return np.asarray(xs, dtype=VERTEX_DTYPE)
+
+
+ALL_KERNELS = [intersect_merge, intersect_searchsorted, intersect_galloping, intersect]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda f: f.__name__)
+class TestKernels:
+    def test_basic_overlap(self, kernel):
+        assert kernel(arr(1, 3, 5, 7), arr(3, 4, 5, 6)).tolist() == [3, 5]
+
+    def test_disjoint(self, kernel):
+        assert kernel(arr(1, 2), arr(3, 4)).tolist() == []
+
+    def test_identical(self, kernel):
+        assert kernel(arr(2, 4, 6), arr(2, 4, 6)).tolist() == [2, 4, 6]
+
+    def test_one_empty(self, kernel):
+        assert kernel(arr(), arr(1, 2)).tolist() == []
+        assert kernel(arr(1, 2), arr()).tolist() == []
+
+    def test_both_empty(self, kernel):
+        assert kernel(arr(), arr()).tolist() == []
+
+    def test_subset(self, kernel):
+        assert kernel(arr(2, 5), arr(1, 2, 3, 5, 9)).tolist() == [2, 5]
+
+    def test_single_elements(self, kernel):
+        assert kernel(arr(5), arr(5)).tolist() == [5]
+        assert kernel(arr(5), arr(6)).tolist() == []
+
+    def test_extreme_size_imbalance(self, kernel):
+        big = np.arange(0, 10_000, 3, dtype=VERTEX_DTYPE)
+        small = arr(3, 9999, 9998, 9996)[np.argsort(arr(3, 9999, 9998, 9996))]
+        small = np.unique(small)
+        expected = sorted(set(big.tolist()) & set(small.tolist()))
+        assert kernel(small, big).tolist() == expected
+
+    def test_matches_set_semantics_randomised(self, kernel):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            a = np.unique(rng.integers(0, 200, size=rng.integers(0, 60)))
+            b = np.unique(rng.integers(0, 200, size=rng.integers(0, 60)))
+            expected = sorted(set(a.tolist()) & set(b.tolist()))
+            got = kernel(a.astype(VERTEX_DTYPE), b.astype(VERTEX_DTYPE))
+            assert got.tolist() == expected
+
+    def test_result_sorted_strictly(self, kernel):
+        rng = np.random.default_rng(7)
+        a = np.unique(rng.integers(0, 100, size=50)).astype(VERTEX_DTYPE)
+        b = np.unique(rng.integers(0, 100, size=50)).astype(VERTEX_DTYPE)
+        out = kernel(a, b)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestIntersectMany:
+    def test_three_way(self):
+        out = intersect_many([arr(1, 2, 3, 4), arr(2, 3, 4, 5), arr(3, 4, 9)])
+        assert out.tolist() == [3, 4]
+
+    def test_single_array(self):
+        assert intersect_many([arr(1, 2)]).tolist() == [1, 2]
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    def test_short_circuits_on_empty(self):
+        out = intersect_many([arr(), arr(1, 2), arr(2, 3)])
+        assert out.tolist() == []
+
+
+class TestCounts:
+    def test_intersect_count_matches_len(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = np.unique(rng.integers(0, 80, size=30)).astype(VERTEX_DTYPE)
+            b = np.unique(rng.integers(0, 80, size=30)).astype(VERTEX_DTYPE)
+            assert intersect_count(a, b) == len(intersect(a, b))
+
+    def test_contains(self):
+        a = arr(1, 4, 6, 9)
+        assert contains(a, 4) and contains(a, 1) and contains(a, 9)
+        assert not contains(a, 5) and not contains(a, 0) and not contains(a, 10)
+
+    def test_contains_empty(self):
+        assert not contains(arr(), 3)
+
+    def test_count_members(self):
+        assert count_members(arr(1, 3, 5), [1, 2, 5, 5]) == 3  # 5 tested twice
+
+    def test_difference(self):
+        assert difference(arr(1, 2, 3, 4), arr(2, 4)).tolist() == [1, 3]
+        assert difference(arr(1, 2), arr()).tolist() == [1, 2]
+
+
+class TestBoundedSlice:
+    def test_open_interval(self):
+        a = arr(1, 3, 5, 7, 9)
+        assert bounded_slice(a, 3, 9).tolist() == [5, 7]
+
+    def test_lower_only(self):
+        assert bounded_slice(arr(1, 3, 5), 1, None).tolist() == [3, 5]
+
+    def test_upper_only(self):
+        assert bounded_slice(arr(1, 3, 5), None, 5).tolist() == [1, 3]
+
+    def test_unbounded(self):
+        assert bounded_slice(arr(1, 3), None, None).tolist() == [1, 3]
+
+    def test_empty_window(self):
+        assert bounded_slice(arr(1, 3, 5), 3, 3).tolist() == []
+        assert bounded_slice(arr(1, 3, 5), 5, 3).tolist() == []
+
+    def test_bounds_not_in_array(self):
+        assert bounded_slice(arr(1, 3, 5, 7), 2, 6).tolist() == [3, 5]
+
+    def test_bounded_count_matches(self):
+        rng = np.random.default_rng(9)
+        a = np.unique(rng.integers(0, 50, size=30)).astype(VERTEX_DTYPE)
+        for lo in [None, 0, 10, 25, 60]:
+            for hi in [None, 0, 10, 25, 60]:
+                assert bounded_count(a, lo, hi) == len(bounded_slice(a, lo, hi))
+
+    def test_exclusive_semantics(self):
+        # (lower, upper) is an *open* interval: bounds themselves excluded.
+        a = arr(2, 4, 6)
+        assert bounded_slice(a, 2, 6).tolist() == [4]
+
+
+def test_kernel_registry_complete():
+    assert set(KERNELS) == {"merge", "searchsorted", "galloping", "adaptive"}
+
+
+def test_empty_vertex_array_is_shared_and_empty():
+    e = empty_vertex_array()
+    assert len(e) == 0 and e.dtype == VERTEX_DTYPE

@@ -1,0 +1,190 @@
+"""Graph serialisation round trips."""
+
+import io
+
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.io import (
+    load_binary,
+    load_edge_list,
+    load_or_build,
+    save_binary,
+    save_edge_list,
+)
+
+
+@pytest.fixture
+def sample():
+    return graph_from_edges([(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)], name="sample")
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert loaded == sample
+
+    def test_comments_and_blank_lines(self):
+        text = "# snap header\n% other comment\n\n0 1\n1 2\n// trailing\n"
+        g = load_edge_list(io.StringIO(text))
+        assert g.n_edges == 2
+
+    def test_snap_style_directed_dups(self):
+        g = load_edge_list(io.StringIO("0\t1\n1\t0\n1\t2\n"))
+        assert g.n_edges == 2
+
+    def test_bad_line_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_edge_list(io.StringIO("0 1\njunk\n"))
+
+    def test_non_integer_ids(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            load_edge_list(io.StringIO("a b\n"))
+
+    def test_name_from_filename(self, sample, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        save_edge_list(sample, path)
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestBinary:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        save_binary(sample, path)
+        loaded = load_binary(path)
+        assert loaded == sample
+        assert loaded.name == "sample"
+
+
+class TestLoadOrBuild:
+    def test_builds_then_caches(self, sample, tmp_path):
+        path = tmp_path / "cache.npz"
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return sample
+
+        g1 = load_or_build(path, factory)
+        g2 = load_or_build(path, factory)
+        assert g1 == g2 == sample
+        assert len(calls) == 1  # second call hit the cache
+
+    def test_refresh_rebuilds(self, sample, tmp_path):
+        path = tmp_path / "cache.npz"
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return sample
+
+        load_or_build(path, factory)
+        load_or_build(path, factory, refresh=True)
+        assert len(calls) == 2
+
+    def test_corrupted_cache_recovers(self, sample, tmp_path):
+        path = tmp_path / "cache.npz"
+        path.write_bytes(b"not an npz")
+        g = load_or_build(path, lambda: sample)
+        assert g == sample
+
+
+class TestGraphPiFormat:
+    def test_round_trip_semantics(self):
+        from repro.graph.io import load_graphpi_format
+
+        text = "4 4\n0 1\n1 2\n2 3\n3 0\n"
+        g = load_graphpi_format(io.StringIO(text))
+        assert g.n_vertices == 4
+        assert g.n_edges == 4  # directed lines collapse to undirected
+
+    def test_header_vertex_padding(self):
+        from repro.graph.io import load_graphpi_format
+
+        g = load_graphpi_format(io.StringIO("5 1\n0 1\n"))
+        assert g.n_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_header_edge_mismatch(self):
+        from repro.graph.io import load_graphpi_format
+
+        with pytest.raises(ValueError, match="declares 3 edges"):
+            load_graphpi_format(io.StringIO("3 3\n0 1\n1 2\n"))
+
+    def test_header_vertex_overflow(self):
+        from repro.graph.io import load_graphpi_format
+
+        with pytest.raises(ValueError, match="ids reach"):
+            load_graphpi_format(io.StringIO("2 1\n0 5\n"))
+
+    def test_empty_file(self):
+        from repro.graph.io import load_graphpi_format
+
+        with pytest.raises(ValueError, match="empty"):
+            load_graphpi_format(io.StringIO(""))
+
+    def test_bad_header(self):
+        from repro.graph.io import load_graphpi_format
+
+        with pytest.raises(ValueError, match="header"):
+            load_graphpi_format(io.StringIO("banana\n0 1\n"))
+
+
+class TestDirectedLoader:
+    def test_roundtrip_preserves_direction(self, tmp_path):
+        import io as _io
+
+        from repro.graph.io import load_edge_list_directed
+
+        text = "# comment\n0 1\n1 2\n2 0\n"
+        g = load_edge_list_directed(_io.StringIO(text))
+        assert g.n_arcs == 3
+        assert g.has_arc(0, 1) and not g.has_arc(1, 0)
+
+    def test_compacts_ids(self):
+        import io as _io
+
+        from repro.graph.io import load_edge_list_directed
+
+        g = load_edge_list_directed(_io.StringIO("100 200\n200 300\n"))
+        assert g.n_vertices == 3
+        assert g.has_arc(0, 1) and g.has_arc(1, 2)
+
+    def test_drops_self_loops_and_duplicates(self):
+        import io as _io
+
+        from repro.graph.io import load_edge_list_directed
+
+        g = load_edge_list_directed(_io.StringIO("0 1\n0 1\n1 1\n1 0\n"))
+        assert g.n_arcs == 2  # the antiparallel pair
+
+    def test_empty_rejected(self):
+        import io as _io
+
+        import pytest as _pytest
+
+        from repro.graph.io import load_edge_list_directed
+
+        with _pytest.raises(ValueError, match="no edges"):
+            load_edge_list_directed(_io.StringIO("# nothing\n"))
+
+    def test_agrees_with_undirected_loader_after_symmetrisation(self, tmp_path):
+        from repro.graph.io import load_edge_list, load_edge_list_directed
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n0 2\n")
+        und = load_edge_list(path)
+        di = load_edge_list_directed(path)
+        assert di.to_undirected().n_edges == und.n_edges
+
+    def test_malformed_line(self):
+        import io as _io
+
+        import pytest as _pytest
+
+        from repro.graph.io import load_edge_list_directed
+
+        with _pytest.raises(ValueError, match="expected"):
+            load_edge_list_directed(_io.StringIO("0\n"))

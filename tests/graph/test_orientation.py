@@ -1,0 +1,109 @@
+"""Vertex orderings: invariants and the degeneracy guarantee."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import count_pattern
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import complete_graph, erdos_renyi, random_power_law
+from repro.graph.orientation import (
+    apply_order,
+    degeneracy_order,
+    degree_order,
+    oriented_out_degrees,
+    relabel_by_degeneracy,
+    relabel_by_degree,
+)
+from repro.pattern.catalog import clique, house, triangle
+
+
+class TestDegreeOrder:
+    def test_degrees_ascend(self):
+        g = random_power_law(80, avg_degree=6.0, exponent=2.3, seed=3)
+        order = degree_order(g)
+        degs = g.degrees[order]
+        assert np.all(np.diff(degs) >= 0)
+
+    def test_is_permutation(self):
+        g = erdos_renyi(50, 0.1, seed=1)
+        assert sorted(degree_order(g).tolist()) == list(range(50))
+
+
+class TestDegeneracyOrder:
+    def test_tree_degeneracy_one(self):
+        g = graph_from_edges([(i, i + 1) for i in range(20)] + [(0, 21), (0, 22)])
+        _, d = degeneracy_order(g)
+        assert d == 1
+
+    def test_clique_degeneracy(self):
+        _, d = degeneracy_order(complete_graph(6))
+        assert d == 5
+
+    def test_cycle_degeneracy_two(self):
+        g = graph_from_edges([(i, (i + 1) % 12) for i in range(12)])
+        _, d = degeneracy_order(g)
+        assert d == 2
+
+    def test_out_degree_bound(self):
+        """The defining property: each vertex has at most `degeneracy`
+        neighbours later in the order."""
+        g = random_power_law(120, avg_degree=7.0, exponent=2.2, seed=5)
+        order, d = degeneracy_order(g)
+        assert int(oriented_out_degrees(g, order).max()) <= d
+
+    def test_degeneracy_below_max_degree_on_skewed_graph(self):
+        g = random_power_law(200, avg_degree=6.0, exponent=2.1, seed=7)
+        _, d = degeneracy_order(g)
+        assert d < g.max_degree
+
+
+class TestApplyOrder:
+    def test_identity_order(self):
+        g = erdos_renyi(30, 0.2, seed=9)
+        h, perm = apply_order(g, np.arange(30))
+        assert np.array_equal(h.indices, g.indices)
+        assert np.array_equal(perm, np.arange(30))
+
+    def test_bad_order_rejected(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        with pytest.raises(ValueError, match="permutation"):
+            apply_order(g, np.zeros(10, dtype=int))
+
+    def test_edges_preserved(self):
+        g = erdos_renyi(40, 0.15, seed=11)
+        h, perm = relabel_by_degree(g)
+        assert h.n_edges == g.n_edges
+        for u in range(g.n_vertices):
+            for v in g.neighbors(u):
+                assert h.has_edge(int(perm[u]), int(perm[int(v)]))
+
+    def test_counts_invariant_under_relabeling(self):
+        g = random_power_law(80, avg_degree=6.0, exponent=2.3, seed=13)
+        for relabel in (relabel_by_degree, relabel_by_degeneracy):
+            h, _ = relabel(g)
+            for p in (triangle(), clique(4), house()):
+                assert count_pattern(h, p, use_iep=False) == count_pattern(
+                    g, p, use_iep=False
+                )
+
+    def test_roundtrip_mapping(self):
+        g = erdos_renyi(25, 0.25, seed=15)
+        order = degree_order(g)
+        h, perm = apply_order(g, order)
+        # order[new] = old and perm[old] = new are inverse
+        assert np.array_equal(order[perm], np.arange(25))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 40), st.integers(0, 1000))
+def test_property_degeneracy_order_bound(n, seed):
+    g = erdos_renyi(n, 0.25, seed=seed)
+    order, d = degeneracy_order(g)
+    assert sorted(order.tolist()) == list(range(n))
+    assert int(oriented_out_degrees(g, order).max(initial=0)) <= d
+    # degeneracy is at most the max degree, at least (min degree of any subgraph)
+    assert d <= max(int(g.degrees.max(initial=0)), 0)

@@ -1,0 +1,105 @@
+"""Graph statistics: triangle counting and the p1/p2 estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.stats import (
+    GraphStats,
+    _triangle_count_merge,
+    degree_histogram,
+    global_clustering,
+    triangle_count,
+    wedge_count,
+)
+
+
+class TestTriangleCount:
+    def test_single_triangle(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        assert triangle_count(g) == 1
+
+    def test_square_no_triangles(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert triangle_count(g) == 0
+
+    def test_complete_graph(self):
+        # C(n,3) triangles in K_n.
+        for n in (3, 4, 5, 6, 7):
+            assert triangle_count(complete_graph(n)) == n * (n - 1) * (n - 2) // 6
+
+    def test_empty(self):
+        g = graph_from_edges([(0, 1)])
+        assert triangle_count(g) == 0
+
+    def test_scipy_and_merge_agree(self):
+        g = erdos_renyi(80, 0.15, seed=21)
+        assert triangle_count(g) == _triangle_count_merge(g)
+
+
+class TestWedgesAndClustering:
+    def test_wedges_of_star(self):
+        g = graph_from_edges([(0, 1), (0, 2), (0, 3)])
+        assert wedge_count(g) == 3  # C(3,2) centred at the hub
+
+    def test_clustering_of_clique_is_one(self):
+        assert global_clustering(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_of_star_is_zero(self):
+        g = graph_from_edges([(0, i) for i in range(1, 6)])
+        assert global_clustering(g) == 0.0
+
+    def test_degree_histogram(self):
+        g = graph_from_edges([(0, 1), (0, 2), (0, 3)])
+        hist = degree_histogram(g)
+        assert hist[1] == 3 and hist[3] == 1
+
+
+class TestGraphStats:
+    def test_of(self):
+        g = complete_graph(5)
+        s = GraphStats.of(g)
+        assert s.n_vertices == 5
+        assert s.n_edges == 10
+        assert s.triangles == 10
+        assert s.max_degree == 4
+        assert s.tri_cnt == 60  # 6 embeddings per distinct triangle
+
+    def test_p1_complete_graph(self):
+        s = GraphStats.of(complete_graph(10))
+        # p1 = 2E/V^2 = 90/100
+        assert s.p1 == pytest.approx(0.9)
+
+    def test_p2_complete_graph(self):
+        s = GraphStats.of(complete_graph(10))
+        # tri_cnt * V / (2E)^2 = 720*10 / 8100 ≈ 0.888 — close to 1 as
+        # the estimator's independence assumption intends for cliques.
+        assert 0.5 < s.p2 <= 1.1
+
+    def test_expected_candidate_size_base_cases(self):
+        s = GraphStats.of(complete_graph(10))
+        assert s.expected_candidate_size(0) == 10.0
+        assert s.expected_candidate_size(1) == pytest.approx(s.avg_degree)
+
+    def test_expected_candidate_size_decreases(self):
+        g = erdos_renyi(200, 0.08, seed=5)
+        s = GraphStats.of(g)
+        sizes = [s.expected_candidate_size(x) for x in range(4)]
+        assert all(sizes[i] >= sizes[i + 1] for i in range(3))
+
+    def test_negative_neighborhoods_rejected(self):
+        s = GraphStats.of(complete_graph(4))
+        with pytest.raises(ValueError):
+            s.expected_candidate_size(-1)
+
+    def test_describe_mentions_key_numbers(self):
+        s = GraphStats.of(complete_graph(4))
+        text = s.describe()
+        assert "|V|=4" in text and "|E|=6" in text
+
+    def test_empty_graph_stats(self):
+        from repro.graph.generators import empty_graph
+
+        s = GraphStats.of(empty_graph(4))
+        assert s.p1 == 0.0 and s.p2 == 0.0 and s.avg_degree == 0.0

@@ -1,0 +1,51 @@
+"""Clique counting: general pipeline vs hand-specialised enumeration."""
+
+from math import comb
+
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.mining.cliques import clique_count, clique_count_ordered, max_clique_lower_bound
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize("n,k", [(6, 3), (6, 4), (7, 5), (8, 3)])
+    def test_cliques_in_complete_graph(self, n, k):
+        expected = comb(n, k)
+        g = complete_graph(n)
+        assert clique_count(g, k) == expected
+        assert clique_count_ordered(g, k) == expected
+
+    def test_k2_is_edge_count(self, er_small):
+        assert clique_count(er_small, 2) == er_small.n_edges
+        assert clique_count_ordered(er_small, 2) == er_small.n_edges
+
+    def test_k_too_small(self, er_small):
+        with pytest.raises(ValueError):
+            clique_count(er_small, 1)
+        with pytest.raises(ValueError):
+            clique_count_ordered(er_small, 1)
+
+
+class TestGeneralVsSpecialised:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_agreement_on_random_graphs(self, k):
+        for seed in range(3):
+            g = erdos_renyi(40, 0.3, seed=seed)
+            assert clique_count(g, k) == clique_count_ordered(g, k), (k, seed)
+
+    def test_iep_toggle(self, er_small):
+        assert clique_count(er_small, 4, use_iep=True) == clique_count(
+            er_small, 4, use_iep=False
+        )
+
+
+class TestMaxClique:
+    def test_complete_graph(self):
+        assert max_clique_lower_bound(complete_graph(5), limit=6) == 5
+
+    def test_triangle_free(self):
+        from repro.graph.builder import graph_from_edges
+
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert max_clique_lower_bound(g) == 2

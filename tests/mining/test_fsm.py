@@ -1,0 +1,169 @@
+"""FSM-lite: MNI support, canonical forms, level-wise mining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.labeled import LabeledGraph, assign_random_labels
+from repro.graph.generators import erdos_renyi
+from repro.mining.fsm import (
+    FrequentPattern,
+    frequent_subgraphs,
+    labeled_canonical_form,
+    mni_support,
+)
+from repro.pattern.labeled import LabeledPattern
+from repro.pattern.pattern import Pattern
+
+
+def lg(edges, labels):
+    return LabeledGraph(graph_from_edges(edges), np.array(labels))
+
+
+@pytest.fixture(scope="module")
+def toy():
+    """Two A-B-C paths sharing nothing + one isolated-ish A-B edge.
+
+    Labels: 0=A, 1=B, 2=C.
+    Vertices: 0A-1B-2C, 3A-4B-5C, 6A-7B.
+    """
+    return lg(
+        [(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)],
+        [0, 1, 2, 0, 1, 2, 0, 1],
+    )
+
+
+class TestCanonicalForm:
+    def test_invariant_under_relabelling(self):
+        p = LabeledPattern(Pattern(3, [(0, 1), (1, 2)]), (0, 1, 0))
+        # same labeled path with the centre renamed to vertex 2
+        q = LabeledPattern(Pattern(3, [(1, 2), (0, 2)]), (0, 0, 1))
+        assert labeled_canonical_form(p) == labeled_canonical_form(q)
+
+    def test_distinguishes_labels(self):
+        a = LabeledPattern(Pattern(2, [(0, 1)]), (0, 0))
+        b = LabeledPattern(Pattern(2, [(0, 1)]), (0, 1))
+        assert labeled_canonical_form(a) != labeled_canonical_form(b)
+
+    def test_distinguishes_structure(self):
+        tri = LabeledPattern(Pattern(3, [(0, 1), (1, 2), (0, 2)]), (0, 0, 0))
+        path = LabeledPattern(Pattern(3, [(0, 1), (1, 2)]), (0, 0, 0))
+        assert labeled_canonical_form(tri) != labeled_canonical_form(path)
+
+
+class TestMNISupport:
+    def test_single_vertex(self, toy):
+        assert mni_support(toy, LabeledPattern(Pattern(1, []), (0,))) == 3
+        assert mni_support(toy, LabeledPattern(Pattern(1, []), (2,))) == 2
+
+    def test_edge_pattern(self, toy):
+        ab = LabeledPattern(Pattern(2, [(0, 1)]), (0, 1))
+        assert mni_support(toy, ab) == 3  # three A-B edges
+        bc = LabeledPattern(Pattern(2, [(0, 1)]), (1, 2))
+        assert mni_support(toy, bc) == 2
+
+    def test_path_pattern(self, toy):
+        abc = LabeledPattern(Pattern(3, [(0, 1), (1, 2)]), (0, 1, 2))
+        assert mni_support(toy, abc) == 2
+
+    def test_absent_pattern(self, toy):
+        cc = LabeledPattern(Pattern(2, [(0, 1)]), (2, 2))
+        assert mni_support(toy, cc) == 0
+
+    def test_mni_counts_images_not_embeddings(self):
+        """A star with one hub and 4 leaves: 4 hub-leaf embeddings but
+        the hub role has only 1 image — MNI = min(1, 4) = 1."""
+        g = lg([(0, 1), (0, 2), (0, 3), (0, 4)], [0, 1, 1, 1, 1])
+        edge = LabeledPattern(Pattern(2, [(0, 1)]), (0, 1))
+        assert mni_support(g, edge) == 1
+
+    def test_symmetric_pattern_orbit_closure(self):
+        """B-B edge on a labeled triangle of Bs: the matcher yields one
+        representative per unordered pair, but both endpoints must enter
+        both role domains (orbit closure)."""
+        g = lg([(0, 1), (1, 2), (0, 2)], [1, 1, 1])
+        bb = LabeledPattern(Pattern(2, [(0, 1)]), (1, 1))
+        assert mni_support(g, bb) == 3
+
+    def test_anti_monotone(self, toy):
+        """Extending a pattern never raises MNI support."""
+        ab = LabeledPattern(Pattern(2, [(0, 1)]), (0, 1))
+        abc = LabeledPattern(Pattern(3, [(0, 1), (1, 2)]), (0, 1, 2))
+        assert mni_support(toy, abc) <= mni_support(toy, ab)
+
+
+class TestMining:
+    def test_toy_mining(self, toy):
+        res = frequent_subgraphs(toy, min_support=2, max_vertices=3)
+        by_key = {labeled_canonical_form(fp.pattern): fp.support for fp in res}
+        # frequent singles: A(3), B(3), C(2)
+        for lab, sup in ((0, 3), (1, 3), (2, 2)):
+            assert by_key[labeled_canonical_form(
+                LabeledPattern(Pattern(1, []), (lab,)))] == sup
+        # frequent edges: A-B (3), B-C (2); no A-C edges exist
+        assert by_key[labeled_canonical_form(
+            LabeledPattern(Pattern(2, [(0, 1)]), (0, 1)))] == 3
+        assert by_key[labeled_canonical_form(
+            LabeledPattern(Pattern(2, [(0, 1)]), (1, 2)))] == 2
+        # the A-B-C path survives at support 2
+        assert by_key[labeled_canonical_form(
+            LabeledPattern(Pattern(3, [(0, 1), (1, 2)]), (0, 1, 2)))] == 2
+
+    def test_threshold_prunes(self, toy):
+        res3 = frequent_subgraphs(toy, min_support=3, max_vertices=3)
+        keys = {labeled_canonical_form(fp.pattern) for fp in res3}
+        # C appears only twice -> gone, and so is everything containing C
+        assert labeled_canonical_form(
+            LabeledPattern(Pattern(1, []), (2,))) not in keys
+        assert all(2 not in fp.pattern.labels for fp in res3)
+
+    def test_results_unique_and_sorted(self, toy):
+        res = frequent_subgraphs(toy, min_support=2, max_vertices=3)
+        keys = [labeled_canonical_form(fp.pattern) for fp in res]
+        assert len(keys) == len(set(keys))
+        sizes = [(fp.pattern.n_vertices, fp.pattern.pattern.n_edges) for fp in res]
+        assert sizes == sorted(sizes)
+
+    def test_max_vertices_respected(self, toy):
+        res = frequent_subgraphs(toy, min_support=1, max_vertices=2)
+        assert max(fp.pattern.n_vertices for fp in res) <= 2
+
+    def test_triangle_found_via_backward_extension(self):
+        """Backward (cycle-closing) extensions must fire: mine a graph of
+        three overlapping labeled triangles."""
+        g = lg(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 0), (4, 0)],
+            [0, 0, 0, 0, 0, 0],
+        )
+        res = frequent_subgraphs(g, min_support=3, max_vertices=3)
+        tri_key = labeled_canonical_form(
+            LabeledPattern(Pattern(3, [(0, 1), (1, 2), (0, 2)]), (0, 0, 0))
+        )
+        assert tri_key in {labeled_canonical_form(fp.pattern) for fp in res}
+
+    def test_support_values_anti_monotone_along_results(self, toy):
+        res = frequent_subgraphs(toy, min_support=2, max_vertices=3)
+        best_by_size: dict[int, int] = {}
+        for fp in res:
+            n = fp.pattern.n_vertices
+            best_by_size[n] = max(best_by_size.get(n, 0), fp.support)
+        sizes = sorted(best_by_size)
+        for a, b in zip(sizes, sizes[1:]):
+            assert best_by_size[b] <= best_by_size[a]
+
+    def test_bad_args(self, toy):
+        with pytest.raises(ValueError):
+            frequent_subgraphs(toy, 0)
+        with pytest.raises(ValueError):
+            frequent_subgraphs(toy, 1, max_vertices=0)
+
+    def test_random_graph_smoke(self):
+        g = assign_random_labels(erdos_renyi(30, 0.15, seed=3), 2, seed=4)
+        res = frequent_subgraphs(g, min_support=5, max_vertices=3)
+        assert all(fp.support >= 5 for fp in res)
+        assert all(
+            fp.pattern.n_vertices == 1 or fp.pattern.pattern.is_connected()
+            for fp in res
+        )

@@ -1,0 +1,104 @@
+"""Motif census correctness."""
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.mining.motifs import classify_motif, motif_census, motif_frequencies
+from repro.pattern.catalog import clique, cycle, path, star, triangle
+from repro.pattern.isomorphism import are_isomorphic, connected_patterns
+
+
+class TestCensus:
+    def test_3motifs_on_k4(self):
+        census = motif_census(complete_graph(4), 3)
+        # Wedges (path-3): 12; triangles: 4.
+        by_shape = {m.pattern.n_edges: m.count for m in census}
+        assert by_shape[2] == 12
+        assert by_shape[3] == 4
+
+    def test_matches_bruteforce(self, er_small):
+        for m in motif_census(er_small, 3):
+            assert m.count == bruteforce_count(er_small, m.pattern)
+
+    def test_4motif_matches_bruteforce(self):
+        g = erdos_renyi(25, 0.3, seed=12)
+        for m in motif_census(g, 4):
+            assert m.count == bruteforce_count(g, m.pattern), m.pattern.name
+
+    def test_iep_and_plain_agree(self):
+        g = erdos_renyi(30, 0.25, seed=8)
+        with_iep = [m.count for m in motif_census(g, 4, use_iep=True)]
+        without = [m.count for m in motif_census(g, 4, use_iep=False)]
+        assert with_iep == without
+
+    def test_rejects_small_k(self, er_small):
+        with pytest.raises(ValueError):
+            motif_census(er_small, 2)
+
+    def test_stable_ordering(self, er_small):
+        a = [m.pattern.name for m in motif_census(er_small, 3)]
+        b = [m.pattern.name for m in motif_census(er_small, 3)]
+        assert a == b
+
+
+class TestFrequencies:
+    def test_sum_to_one(self, er_small):
+        freqs = motif_frequencies(er_small, 3)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        from repro.graph.generators import empty_graph
+
+        # No embeddings at all: all frequencies zero.  Note the census
+        # itself still runs (counts are 0).
+        freqs = motif_frequencies(empty_graph(5), 3)
+        assert all(v == 0.0 for v in freqs.values())
+
+
+class TestClassify:
+    def test_roundtrip(self):
+        for k in (3, 4):
+            for idx, pattern in enumerate(connected_patterns(k)):
+                assert classify_motif(pattern, k) == idx
+
+    def test_classifies_relabelled(self):
+        p = cycle(4).relabel([2, 0, 3, 1])
+        idx = classify_motif(p, 4)
+        assert are_isomorphic(connected_patterns(4)[idx], cycle(4))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            classify_motif(triangle(), 4)
+
+    def test_disconnected_rejected(self):
+        from repro.pattern.pattern import Pattern
+
+        with pytest.raises(ValueError):
+            classify_motif(Pattern(4, [(0, 1), (2, 3)]), 4)
+
+
+class TestInducedCensus:
+    def test_matches_bruteforce_oracle(self, er_small):
+        from repro.baselines.bruteforce import bruteforce_induced_count
+        from repro.mining.motifs import induced_motif_census
+
+        for m in induced_motif_census(er_small, 3):
+            assert m.count == bruteforce_induced_count(er_small, m.pattern)
+
+    def test_k4_census_sums(self, er_small):
+        """Induced counts of all 4-motifs partition the set of connected
+        4-vertex subgraphs, so they sum to the non-induced count of...
+        nothing simple — but each induced count is <= its non-induced
+        counterpart and the clique rows agree exactly."""
+        from repro.mining.motifs import induced_motif_census, motif_census
+
+        ind = {m.pattern.name: m.count for m in induced_motif_census(er_small, 4)}
+        non = {m.pattern.name: m.count for m in motif_census(er_small, 4)}
+        for name in ind:
+            assert ind[name] <= non[name]
+        # the densest motif is K4: identical under both semantics
+        densest = max(
+            induced_motif_census(er_small, 4), key=lambda m: m.pattern.n_edges
+        )
+        assert densest.count == non[densest.pattern.name]

@@ -1,0 +1,133 @@
+"""Automorphism groups: sizes, group axioms, orbits, stabilisers."""
+
+from math import factorial
+
+import pytest
+
+from repro.pattern.automorphism import (
+    automorphism_count,
+    automorphisms,
+    is_automorphism,
+    orbits,
+    pointwise_stabilizer,
+    stabilizer,
+    verify_group,
+)
+from repro.pattern.catalog import (
+    clique,
+    cycle,
+    cycle_6_tri,
+    house,
+    path,
+    pentagon,
+    rectangle,
+    star,
+    triangle,
+)
+from repro.pattern.pattern import Pattern
+
+
+KNOWN_GROUP_SIZES = [
+    (triangle(), 6),
+    (rectangle(), 8),  # dihedral D4
+    (pentagon(), 10),  # dihedral D5
+    (house(), 2),
+    (cycle_6_tri(), 2),
+    (clique(4), 24),
+    (clique(5), 120),
+    (path(4), 2),
+    (star(4), 24),  # leaves permute freely
+    (cycle(6), 12),
+]
+
+
+@pytest.mark.parametrize("pattern,size", KNOWN_GROUP_SIZES, ids=lambda x: getattr(x, "name", x))
+def test_known_group_sizes(pattern, size):
+    assert automorphism_count(pattern) == size
+
+
+@pytest.mark.parametrize("pattern,_", KNOWN_GROUP_SIZES, ids=lambda x: getattr(x, "name", x))
+def test_groups_satisfy_axioms(pattern, _):
+    assert verify_group(automorphisms(pattern))
+
+
+def test_clique_group_is_symmetric_group():
+    auts = automorphisms(clique(4))
+    assert len(auts) == factorial(4)
+    assert len(set(auts)) == factorial(4)
+
+
+def test_identity_always_first():
+    for pattern, _ in KNOWN_GROUP_SIZES:
+        assert automorphisms(pattern)[0] == tuple(range(pattern.n_vertices))
+
+
+def test_every_listed_perm_is_automorphism():
+    p = house()
+    for perm in automorphisms(p):
+        assert is_automorphism(p, perm)
+
+
+def test_non_automorphism_detected():
+    assert not is_automorphism(house(), (1, 2, 3, 4, 0))
+    assert not is_automorphism(house(), (0, 0, 1, 2, 3))
+
+
+def test_paper_rectangle_group():
+    """Figure 4(c): the rectangle's 8 automorphisms, as listed."""
+    from repro.pattern.permutation import perm_from_cycles as pc
+
+    expected = {
+        (0, 1, 2, 3),                      # ① identity
+        pc(4, [(0, 3, 2, 1)]),             # ② (A,D,C,B)
+        pc(4, [(0, 1, 2, 3)]),             # ③ (A,B,C,D)
+        pc(4, [(1, 3)]),                   # ④ (B,D)
+        pc(4, [(0, 2)]),                   # ⑤ (A,C)
+        pc(4, [(0, 2), (1, 3)]),           # ⑥ (A,C)(B,D)
+        pc(4, [(0, 1), (2, 3)]),           # ⑦ (A,B)(C,D)
+        pc(4, [(0, 3), (1, 2)]),           # ⑧ (A,D)(B,C)
+    }
+    assert set(automorphisms(rectangle())) == expected
+
+
+class TestOrbits:
+    def test_rectangle_single_orbit(self):
+        assert orbits(automorphisms(rectangle())) == [[0, 1, 2, 3]]
+
+    def test_house_orbits(self):
+        # House automorphism swaps (0,1) and (2,4)... per our labelling:
+        auts = automorphisms(house())
+        orbs = orbits(auts)
+        flat = sorted(v for orb in orbs for v in orb)
+        assert flat == [0, 1, 2, 3, 4]
+        sizes = sorted(len(o) for o in orbs)
+        assert sizes == [1, 2, 2]  # one fixed vertex, two swapped pairs
+
+    def test_star_leaf_orbit(self):
+        orbs = orbits(automorphisms(star(3)))
+        assert [0] in orbs
+        assert [1, 2, 3] in orbs
+
+
+class TestStabilizers:
+    def test_stabilizer_subgroup(self):
+        auts = automorphisms(rectangle())
+        stab = stabilizer(auts, 0)
+        assert len(stab) == 2  # id and the reflection fixing 0 (and 2)
+        assert verify_group(stab)
+
+    def test_pointwise_stabilizer(self):
+        auts = automorphisms(clique(4))
+        stab = pointwise_stabilizer(auts, [0, 1])
+        assert len(stab) == 2  # S2 on remaining two vertices
+
+    def test_full_stabilizer_chain_trivial(self):
+        auts = automorphisms(clique(4))
+        stab = pointwise_stabilizer(auts, [0, 1, 2])
+        assert stab == [tuple(range(4))]
+
+
+def test_disconnected_pattern_automorphisms():
+    # Two disjoint edges: swap within each edge and swap the edges: |Aut|=8.
+    p = Pattern(4, [(0, 1), (2, 3)])
+    assert automorphism_count(p) == 8

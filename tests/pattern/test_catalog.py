@@ -1,0 +1,134 @@
+"""Named pattern catalog, including the paper-pinned shapes."""
+
+import pytest
+
+from repro.pattern.catalog import (
+    NAMED_PATTERNS,
+    clique,
+    cycle,
+    cycle_6_tri,
+    get_pattern,
+    house,
+    paper_patterns,
+    path,
+    pentagon,
+    rectangle,
+    star,
+    triangle,
+)
+
+
+class TestBasicShapes:
+    def test_triangle(self):
+        assert triangle().n_vertices == 3 and triangle().n_edges == 3
+
+    def test_rectangle_is_4_cycle(self):
+        r = rectangle()
+        assert r.n_edges == 4
+        assert all(r.degree(v) == 2 for v in range(4))
+
+    def test_clique_edges(self):
+        assert clique(5).n_edges == 10
+
+    def test_clique_requires_2(self):
+        with pytest.raises(ValueError):
+            clique(1)
+
+    def test_cycle_path_star_sizes(self):
+        assert cycle(6).n_edges == 6
+        assert path(5).n_edges == 4
+        assert star(4).n_edges == 4
+
+    def test_cycle_minimum(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+
+class TestPaperPinnedShapes:
+    def test_house_matches_fig5_pseudocode(self):
+        """Fig. 5(b): B∈N(A); C∈N(A); D∈N(B)∩N(C); E∈N(A)∩N(B)."""
+        h = house()
+        # A=0 B=1 C=2 D=3 E=4
+        assert h.has_edge(0, 1)          # B ∈ N(A)
+        assert h.has_edge(0, 2)          # C ∈ N(A)
+        assert h.has_edge(1, 3) and h.has_edge(2, 3)  # D ∈ N(B)∩N(C)
+        assert h.has_edge(0, 4) and h.has_edge(1, 4)  # E ∈ N(A)∩N(B)
+        assert h.n_edges == 6
+        # D and E are not adjacent (k = 2, the paper's phase-2 example).
+        assert not h.has_edge(3, 4)
+
+    def test_cycle_6_tri_matches_fig6_pseudocode(self):
+        """Fig. 6(b): S1(D)=N(A)∩N(B); S2(E)=N(A)∩N(C); S3(F)=N(B)∩N(C)."""
+        p = cycle_6_tri()
+        # A=0 B=1 C=2 D=3 E=4 F=5
+        assert p.has_edge(0, 1) and p.has_edge(0, 2)
+        assert p.has_edge(3, 0) and p.has_edge(3, 1)
+        assert p.has_edge(4, 0) and p.has_edge(4, 2)
+        assert p.has_edge(5, 1) and p.has_edge(5, 2)
+        # D, E, F pairwise non-adjacent → k = 3 (§IV-D).
+        assert p.is_independent_set([3, 4, 5])
+        assert p.max_independent_set_size() == 3
+
+    def test_rectangle_house_top_is_rectangle(self):
+        """§V-C: the subpattern formed by the top 4 vertices of P4 is a
+        rectangle."""
+        from repro.pattern.catalog import rectangle_house
+        from repro.pattern.isomorphism import are_isomorphic
+        from repro.pattern.pattern import Pattern
+
+        p4 = rectangle_house()
+        top = [(u, v) for u, v in p4.edges if u < 4 and v < 4]
+        assert are_isomorphic(Pattern(4, top), rectangle())
+
+
+class TestPaperEvaluationSet:
+    def test_p1_to_p6_present(self):
+        pats = paper_patterns()
+        assert sorted(pats) == ["P1", "P2", "P3", "P4", "P5", "P6"]
+
+    def test_all_connected(self):
+        for p in paper_patterns().values():
+            assert p.is_connected()
+
+    def test_sizes_in_paper_range(self):
+        """5-7 vertices: 'patterns with a size of 6' regime from the intro."""
+        for p in paper_patterns().values():
+            assert 5 <= p.n_vertices <= 7
+
+    def test_p1_p2_simple_p5_p6_complex(self):
+        """§V-A: P1, P2 are GraphZero's (simple); P5, P6 added (complex)."""
+        pats = paper_patterns()
+        assert pats["P1"].n_vertices == 5 and pats["P2"].n_vertices == 5
+        assert pats["P5"].n_vertices >= 6 and pats["P6"].n_vertices >= 6
+
+    def test_p6_has_rich_symmetry(self):
+        """Table III shows P5/P6 preprocessing in the seconds range —
+        driven by automorphism-group size."""
+        from repro.pattern.automorphism import automorphism_count
+
+        pats = paper_patterns()
+        assert automorphism_count(pats["P6"]) >= 24
+
+
+class TestLookup:
+    def test_named(self):
+        for name in NAMED_PATTERNS:
+            assert get_pattern(name).n_vertices >= 3
+
+    def test_paper_names(self):
+        assert get_pattern("P3").n_vertices == 6
+        assert get_pattern("p1") == paper_patterns()["P1"]
+
+    def test_parametric(self):
+        assert get_pattern("clique-4") == clique(4)
+        assert get_pattern("cycle-7").n_edges == 7
+        assert get_pattern("path-3").n_edges == 2
+        assert get_pattern("star-5").n_edges == 5
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_pattern("dodecahedron")
+
+    def test_pentagon_alias(self):
+        assert pentagon().n_edges == 5
+        assert get_pattern("pentagon") == pentagon()

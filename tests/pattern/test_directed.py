@@ -1,0 +1,159 @@
+"""DiPattern and directed automorphism groups."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.pattern.catalog import cycle, triangle
+from repro.pattern.directed import (
+    DiPattern,
+    bi_fan,
+    directed_automorphism_count,
+    directed_automorphisms,
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    feedforward_loop,
+    is_directed_automorphism,
+    out_star,
+    transitive_triangle,
+)
+
+
+class TestDiPattern:
+    def test_arcs_and_degrees(self):
+        p = DiPattern(3, [(0, 1), (1, 2), (2, 0)])
+        assert p.n_arcs == 3
+        assert p.successors(0) == [1]
+        assert p.predecessors(0) == [2]
+        assert p.out_degree(0) == 1 and p.in_degree(0) == 1
+
+    def test_antiparallel_pairs_distinct(self):
+        p = DiPattern(2, [(0, 1), (1, 0)])
+        assert p.n_arcs == 2
+        assert p.skeleton().n_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DiPattern(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DiPattern(2, [(0, 5)])
+
+    def test_skeleton_of_dicycle_is_cycle(self):
+        assert directed_cycle(5).skeleton() == cycle(5)
+
+    def test_relabel_roundtrip(self):
+        p = transitive_triangle()
+        q = p.relabel([2, 0, 1]).relabel([1, 2, 0])
+        assert q == p
+
+    def test_relabel_bad_perm(self):
+        with pytest.raises(ValueError):
+            transitive_triangle().relabel([0, 0, 1])
+
+    def test_reverse_involution(self):
+        p = feedforward_loop()
+        assert p.reverse().reverse() == p
+        assert p.reverse() != p  # FFL is not arc-reversal symmetric as labeled object
+
+    def test_connectivity(self):
+        assert directed_path(4).is_connected()
+        assert not DiPattern(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_equality_ignores_name(self):
+        a = DiPattern(3, [(0, 1)], name="x")
+        b = DiPattern(3, [(0, 1)], name="y")
+        assert a == b and hash(a) == hash(b)
+
+    def test_dipattern_not_equal_to_pattern(self):
+        assert (DiPattern(3, [(0, 1)]) == triangle()) is False
+
+
+class TestDirectedAutomorphisms:
+    def _bruteforce_auts(self, p: DiPattern):
+        arcs = set(p.arcs)
+        out = []
+        for perm in permutations(range(p.n_vertices)):
+            if {(perm[u], perm[v]) for u, v in arcs} == arcs:
+                out.append(tuple(perm))
+        return sorted(out)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            directed_cycle(3),
+            directed_cycle(4),
+            directed_cycle(5),
+            transitive_triangle(),
+            directed_path(4),
+            out_star(3),
+            bi_fan(),
+            directed_clique(3),
+            DiPattern(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+        ],
+    )
+    def test_matches_bruteforce(self, pattern):
+        got = sorted(tuple(a) for a in directed_automorphisms(pattern))
+        assert got == self._bruteforce_auts(pattern)
+
+    def test_dicycle_group_is_rotations(self):
+        # reflections reverse arc direction, so only n rotations survive
+        assert directed_automorphism_count(directed_cycle(4)) == 4
+        assert directed_automorphism_count(directed_cycle(6)) == 6
+
+    def test_transitive_triangle_asymmetric(self):
+        assert directed_automorphism_count(transitive_triangle()) == 1
+
+    def test_out_star_full_leaf_symmetry(self):
+        assert directed_automorphism_count(out_star(4)) == 24
+
+    def test_bi_fan_group(self):
+        # swap sources × swap sinks = 4
+        assert directed_automorphism_count(bi_fan()) == 4
+
+    def test_directed_clique_full_group(self):
+        assert directed_automorphism_count(directed_clique(4)) == 24
+
+    def test_subgroup_of_skeleton_group(self):
+        from repro.pattern.automorphism import automorphisms
+
+        for p in (directed_cycle(5), bi_fan(), feedforward_loop()):
+            sk = {tuple(a) for a in automorphisms(p.skeleton())}
+            di = {tuple(a) for a in directed_automorphisms(p)}
+            assert di <= sk
+
+    def test_is_directed_automorphism(self):
+        p = directed_cycle(3)
+        assert is_directed_automorphism(p, (1, 2, 0))
+        assert not is_directed_automorphism(p, (1, 0, 2))
+        assert not is_directed_automorphism(p, (0, 0, 1))
+
+    def test_identity_always_present(self):
+        for p in (directed_path(3), bi_fan(), directed_cycle(4)):
+            assert tuple(range(p.n_vertices)) in {
+                tuple(a) for a in directed_automorphisms(p)
+            }
+
+
+class TestCatalog:
+    def test_directed_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            directed_cycle(1)
+
+    def test_directed_path_too_small(self):
+        with pytest.raises(ValueError):
+            directed_path(1)
+
+    def test_out_star_needs_leaf(self):
+        with pytest.raises(ValueError):
+            out_star(0)
+
+    def test_feedforward_is_transitive_triangle(self):
+        assert feedforward_loop() == transitive_triangle()
+
+    def test_directed_clique_arc_count(self):
+        assert directed_clique(4).n_arcs == 12

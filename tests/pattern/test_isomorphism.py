@@ -1,0 +1,94 @@
+"""Canonical forms and motif enumeration."""
+
+import pytest
+
+from repro.pattern.catalog import clique, cycle, house, path, rectangle, star, triangle
+from repro.pattern.isomorphism import (
+    are_isomorphic,
+    canonical_form,
+    connected_patterns,
+    find_isomorphism,
+    upper_triangle_bits,
+)
+from repro.pattern.pattern import Pattern
+
+
+class TestCanonicalForm:
+    def test_relabelled_patterns_share_form(self):
+        p = house()
+        for perm in [(4, 3, 2, 1, 0), (1, 0, 3, 2, 4), (2, 3, 4, 0, 1)]:
+            assert canonical_form(p.relabel(list(perm))) == canonical_form(p)
+
+    def test_different_patterns_differ(self):
+        assert canonical_form(path(4)) != canonical_form(star(3))
+        assert canonical_form(cycle(4)) != canonical_form(clique(4))
+
+    def test_bits_depend_on_labelling(self):
+        p = path(3)
+        q = p.relabel([1, 0, 2])
+        assert upper_triangle_bits(p) != upper_triangle_bits(q)
+        assert canonical_form(p) == canonical_form(q)
+
+
+class TestAreIsomorphic:
+    def test_same_shape(self):
+        assert are_isomorphic(cycle(4), rectangle())
+
+    def test_shortcut_vertex_count(self):
+        assert not are_isomorphic(triangle(), rectangle())
+
+    def test_shortcut_degree_sequence(self):
+        assert not are_isomorphic(path(4), star(3))
+
+    def test_same_degree_sequence_non_isomorphic(self):
+        # C6 vs two triangles: both 2-regular on 6 vertices.
+        two_tris = Pattern(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert not are_isomorphic(cycle(6), two_tris)
+
+
+class TestFindIsomorphism:
+    def test_found_mapping_is_valid(self):
+        a = house()
+        b = a.relabel([3, 1, 4, 0, 2])
+        mapping = find_isomorphism(a, b)
+        assert mapping is not None
+        for u, v in a.edges:
+            assert b.has_edge(mapping[u], mapping[v])
+
+    def test_none_when_not_isomorphic(self):
+        assert find_isomorphism(cycle(4), clique(4)) is None
+
+
+class TestConnectedPatterns:
+    """Known counts of connected graphs on k nodes: 1, 1, 2, 6, 21."""
+
+    @pytest.mark.parametrize("k,count", [(1, 1), (2, 1), (3, 2), (4, 6), (5, 21)])
+    def test_counts(self, k, count):
+        assert len(connected_patterns(k)) == count
+
+    def test_all_connected_and_distinct(self):
+        pats = connected_patterns(4)
+        forms = {canonical_form(p) for p in pats}
+        assert len(forms) == len(pats)
+        assert all(p.is_connected() for p in pats)
+
+    def test_includes_extremes(self):
+        pats = connected_patterns(4)
+        assert any(are_isomorphic(p, path(4)) for p in pats)
+        assert any(are_isomorphic(p, clique(4)) for p in pats)
+        assert any(are_isomorphic(p, cycle(4)) for p in pats)
+        assert any(are_isomorphic(p, star(3)) for p in pats)
+
+    def test_sorted_by_edges(self):
+        pats = connected_patterns(4)
+        edge_counts = [p.n_edges for p in pats]
+        assert edge_counts == sorted(edge_counts)
+        assert edge_counts[0] == 3 and edge_counts[-1] == 6
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            connected_patterns(7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            connected_patterns(0)

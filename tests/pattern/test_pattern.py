@@ -1,0 +1,130 @@
+"""Pattern type: construction, queries, structure predicates."""
+
+import numpy as np
+import pytest
+
+from repro.pattern.catalog import clique, house, rectangle, triangle
+from repro.pattern.pattern import Pattern
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern(3, [(0, 1), (1, 2)])
+        assert p.n_vertices == 3
+        assert p.n_edges == 2
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(ValueError):
+            Pattern(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Pattern(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Pattern(2, [(0, 2)])
+
+    def test_duplicate_edges_collapse(self):
+        p = Pattern(2, [(0, 1), (1, 0), (0, 1)])
+        assert p.n_edges == 1
+
+    def test_from_adjacency_string(self):
+        p = Pattern.from_adjacency_string(3, "011101110")
+        assert p.n_edges == 3
+        assert p == triangle()
+
+    def test_adjacency_string_asymmetric_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            Pattern.from_adjacency_string(2, "0100")
+
+    def test_adjacency_string_wrong_length(self):
+        with pytest.raises(ValueError, match="chars"):
+            Pattern.from_adjacency_string(2, "010")
+
+    def test_adjacency_string_bad_char(self):
+        with pytest.raises(ValueError):
+            Pattern.from_adjacency_string(2, "0x10")
+
+    def test_from_adjacency_matrix(self):
+        m = np.array([[0, 1], [1, 0]])
+        assert Pattern.from_adjacency_matrix(m).n_edges == 1
+
+    def test_matrix_round_trip(self):
+        p = house()
+        assert Pattern.from_adjacency_matrix(p.adjacency_matrix()) == p
+
+
+class TestQueries:
+    def test_has_edge(self):
+        p = triangle()
+        assert p.has_edge(0, 1) and p.has_edge(1, 0)
+
+    def test_neighbors(self):
+        p = Pattern(4, [(0, 1), (0, 3)])
+        assert p.neighbors(0) == [1, 3]
+        assert p.neighbors(2) == []
+
+    def test_degrees(self):
+        assert house().degrees == [3, 3, 2, 2, 2]
+
+    def test_edges_sorted_pairs(self):
+        for u, v in house().edges:
+            assert u < v
+
+
+class TestStructure:
+    def test_connected(self):
+        assert triangle().is_connected()
+        assert not Pattern(4, [(0, 1), (2, 3)]).is_connected()
+        assert Pattern(1, []).is_connected()
+
+    def test_independent_set(self):
+        p = rectangle()
+        assert p.is_independent_set([0, 2])
+        assert p.is_independent_set([1, 3])
+        assert not p.is_independent_set([0, 1])
+
+    def test_max_independent_set_sizes(self):
+        assert clique(5).max_independent_set_size() == 1
+        assert rectangle().max_independent_set_size() == 2
+        assert house().max_independent_set_size() == 2
+        # Paper Fig. 6: Cycle-6-Tri has k = 3 (D, E, F).
+        from repro.pattern.catalog import cycle_6_tri
+
+        assert cycle_6_tri().max_independent_set_size() == 3
+
+    def test_independent_sets_of_size(self):
+        sets = rectangle().independent_sets_of_size(2)
+        assert sorted(sets) == [(0, 2), (1, 3)]
+
+    def test_relabel_preserves_structure(self):
+        p = house()
+        q = p.relabel([4, 3, 2, 1, 0])
+        assert q.n_edges == p.n_edges
+        assert sorted(q.degrees) == sorted(p.degrees)
+
+    def test_relabel_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            house().relabel([0, 0, 1, 2, 3])
+
+    def test_to_graph(self):
+        g = house().to_graph()
+        assert g.n_vertices == 5
+        assert g.n_edges == 6
+
+    def test_to_graph_isolated_vertex(self):
+        p = Pattern(3, [(0, 1)])
+        g = p.to_graph()
+        assert g.n_vertices == 3
+        assert g.degree(2) == 0
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert triangle() == Pattern(3, [(0, 1), (0, 2), (1, 2)])
+        assert hash(triangle()) == hash(Pattern(3, [(1, 2), (0, 2), (0, 1)]))
+        assert triangle() != rectangle()
+
+    def test_eq_other_type(self):
+        assert triangle() != 42

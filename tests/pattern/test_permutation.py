@@ -1,0 +1,119 @@
+"""Permutation algebra: cycles, 2-cycles, composition."""
+
+import pytest
+
+from repro.pattern.permutation import (
+    all_permutations,
+    apply_perm,
+    compose,
+    cycle_decomposition,
+    cycles_to_string,
+    identity,
+    inverse,
+    is_identity,
+    perm_from_cycles,
+    perm_order,
+    transposition_product,
+    two_cycles,
+    validate_perm,
+)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert identity(4) == (0, 1, 2, 3)
+        assert is_identity(identity(5))
+        assert not is_identity((1, 0))
+
+    def test_validate_accepts(self):
+        assert validate_perm([2, 0, 1]) == (2, 0, 1)
+
+    def test_validate_rejects_repeats(self):
+        with pytest.raises(ValueError):
+            validate_perm([0, 0, 1])
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_perm([0, 3])
+
+    def test_compose(self):
+        # outer ∘ inner: apply inner first.
+        inner = (1, 2, 0)
+        outer = (2, 0, 1)
+        assert compose(outer, inner) == (0, 1, 2)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            compose((0, 1), (0, 1, 2))
+
+    def test_inverse(self):
+        p = (2, 0, 3, 1)
+        assert compose(p, inverse(p)) == identity(4)
+        assert compose(inverse(p), p) == identity(4)
+
+    def test_apply_perm(self):
+        # result[perm[i]] = items[i]
+        assert apply_perm((1, 2, 0), ("a", "b", "c")) == ("c", "a", "b")
+
+
+class TestCycles:
+    def test_decomposition_canonical(self):
+        assert cycle_decomposition((0, 3, 2, 1)) == [(0,), (1, 3), (2,)]
+
+    def test_decomposition_full_cycle(self):
+        assert cycle_decomposition((1, 2, 3, 0)) == [(0, 1, 2, 3)]
+
+    def test_identity_decomposition(self):
+        assert cycle_decomposition((0, 1, 2)) == [(0,), (1,), (2,)]
+
+    def test_two_cycles_simple(self):
+        assert two_cycles((1, 0, 3, 2)) == [(0, 1), (2, 3)]
+
+    def test_two_cycles_excludes_fixed_points(self):
+        assert two_cycles((0, 1, 2)) == []
+
+    def test_two_cycles_excludes_longer_cycles(self):
+        # 4-cycle: no element satisfies p[p[x]] == x except via 2-cycles.
+        assert two_cycles((1, 2, 3, 0)) == []
+
+    def test_two_cycles_mixed(self):
+        # (0)(1 2)(3 4 5) → only (1,2).
+        p = perm_from_cycles(6, [(1, 2), (3, 4, 5)])
+        assert two_cycles(p) == [(1, 2)]
+
+    def test_transposition_product_reconstructs(self):
+        for p in all_permutations(5):
+            factors = transposition_product(p)
+            acc = identity(5)
+            # Compose right-to-left as the paper's example prescribes.
+            for a, b in reversed(factors):
+                swap = list(identity(5))
+                swap[a], swap[b] = b, a
+                acc = compose(tuple(swap), acc)
+            assert acc == p
+
+    def test_perm_from_cycles(self):
+        p = perm_from_cycles(4, [(0, 1), (2, 3)])
+        assert p == (1, 0, 3, 2)
+
+    def test_perm_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            perm_from_cycles(4, [(0, 1), (1, 2)])
+
+    def test_paper_4cycle_decomposition(self):
+        """The paper's §IV-A example: (A,B,C,D) = (A,D)(A,C)(A,B)."""
+        p = perm_from_cycles(4, [(0, 1, 2, 3)])
+        assert transposition_product(p) == [(0, 3), (0, 2), (0, 1)]
+
+    def test_perm_order(self):
+        assert perm_order((0, 1, 2)) == 1
+        assert perm_order((1, 0, 2)) == 2
+        assert perm_order((1, 2, 0)) == 3
+        assert perm_order(perm_from_cycles(5, [(0, 1), (2, 3, 4)])) == 6
+
+    def test_cycles_to_string(self):
+        assert cycles_to_string((0, 3, 2, 1)) == "(0)(1 3)(2)"
+
+
+def test_all_permutations_count():
+    assert sum(1 for _ in all_permutations(4)) == 24

@@ -1,0 +1,124 @@
+"""Hypothesis property tests on the core counting invariants.
+
+These are the deep invariants the paper's correctness rests on:
+
+1. every (schedule, restriction-set) configuration counts the same;
+2. IEP counting equals plain counting;
+3. generated code equals the interpreter;
+4. counts are invariant under graph relabelling;
+5. restriction-free counts are exactly |Aut| times the distinct count.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.bruteforce import bruteforce_count
+from repro.core.codegen import compile_plan_function
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules, intersection_free_suffix_length
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import empty_graph
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.catalog import house, rectangle, triangle
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw, max_vertices=18):
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible), unique=True)
+    )
+    if not edges:
+        return empty_graph(n)
+    g = graph_from_edges(edges)
+    return g
+
+
+PATTERNS = [triangle(), rectangle(), house()]
+
+
+@given(graph=random_graphs())
+@SETTINGS
+def test_all_configurations_agree(graph):
+    for pattern in PATTERNS[:2]:
+        counts = set()
+        rsets = generate_restriction_sets(pattern)[:3]
+        for schedule in generate_schedules(pattern, dedup_automorphic=True)[:3]:
+            for rs in rsets:
+                plan = Configuration(pattern, schedule, rs).compile()
+                counts.add(Engine(graph, plan).count())
+        assert len(counts) == 1
+
+
+@given(graph=random_graphs())
+@SETTINGS
+def test_iep_equals_plain(graph):
+    pattern = house()
+    rs = generate_restriction_sets(pattern)[0]
+    schedule = generate_schedules(pattern)[0]
+    cfg = Configuration(pattern, schedule, rs)
+    plain = Engine(graph, cfg.compile()).count()
+    k = intersection_free_suffix_length(pattern, schedule)
+    if k > 0:
+        from repro.core.restrictions import NonUniformOvercountError
+
+        try:
+            plan = cfg.compile(iep_k=k)
+        except NonUniformOvercountError:
+            return
+        assert Engine(graph, plan).count() == plain
+
+
+@given(graph=random_graphs(max_vertices=14))
+@SETTINGS
+def test_codegen_equals_engine(graph):
+    for pattern in PATTERNS:
+        rs = generate_restriction_sets(pattern)[0]
+        schedule = generate_schedules(pattern)[0]
+        plan = Configuration(pattern, schedule, rs).compile()
+        assert compile_plan_function(plan)(graph) == Engine(graph, plan).count()
+
+
+@given(graph=random_graphs(max_vertices=12), data=st.data())
+@SETTINGS
+def test_count_invariant_under_relabelling(graph, data):
+    if graph.n_vertices < 3:
+        return
+    perm = data.draw(st.permutations(range(graph.n_vertices)))
+    relabelled_edges = [(perm[u], perm[v]) for u, v in graph.edges()]
+    relabelled = (
+        graph_from_edges(relabelled_edges) if relabelled_edges else empty_graph(graph.n_vertices)
+    )
+    pattern = triangle()
+    rs = generate_restriction_sets(pattern)[0]
+    plan = Configuration(pattern, (0, 1, 2), rs).compile()
+    assert Engine(graph, plan).count() == Engine(relabelled, plan).count()
+
+
+@given(graph=random_graphs(max_vertices=12))
+@SETTINGS
+def test_no_restrictions_counts_aut_multiples(graph):
+    for pattern in PATTERNS[:2]:
+        schedule = generate_schedules(pattern)[0]
+        plan = Configuration(pattern, schedule, frozenset()).compile()
+        raw = Engine(graph, plan).count()
+        distinct = bruteforce_count(graph, pattern)
+        assert raw == distinct * automorphism_count(pattern)
+
+
+@given(graph=random_graphs(max_vertices=14))
+@SETTINGS
+def test_engine_matches_bruteforce(graph):
+    pattern = triangle()
+    rs = generate_restriction_sets(pattern)[0]
+    plan = Configuration(pattern, (0, 1, 2), rs).compile()
+    assert Engine(graph, plan).count() == bruteforce_count(graph, pattern)

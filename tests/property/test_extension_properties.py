@@ -1,0 +1,177 @@
+"""Property tests for the directed / induced / dynamic extensions.
+
+Same methodology as the core property suite: hypothesis generates small
+random structures, and independent implementations must agree exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import (
+    bruteforce_count,
+    bruteforce_directed_count,
+    bruteforce_induced_count,
+)
+from repro.core.directed import count_directed
+from repro.core.induced import induced_count, supergraph_decomposition
+from repro.graph.digraph import digraph_from_edges
+from repro.graph.generators import erdos_renyi
+from repro.pattern.automorphism import automorphism_count
+from repro.pattern.directed import DiPattern, directed_automorphisms
+from repro.pattern.pattern import Pattern
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def random_dipatterns(draw, min_vertices=2, max_vertices=4):
+    """Weakly-connected random directed patterns."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=n - 1, max_size=len(pairs), unique=True)
+    )
+    p = DiPattern(n, chosen)
+    if not p.is_connected():
+        # make it connected with a directed path over all vertices
+        arcs = set(chosen) | {(i, i + 1) for i in range(n - 1)}
+        p = DiPattern(n, sorted(arcs))
+    return p
+
+
+@st.composite
+def random_digraphs(draw, max_vertices=14):
+    n = draw(st.integers(4, max_vertices))
+    p = draw(st.floats(0.1, 0.4))
+    seed = draw(st.integers(0, 10_000))
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    if len(src) == 0:
+        return digraph_from_edges([(0, 1)], n_vertices=n)
+    return digraph_from_edges(zip(src.tolist(), dst.tolist()), n_vertices=n)
+
+
+@st.composite
+def random_connected_patterns(draw, min_vertices=3, max_vertices=4):
+    n = draw(st.integers(min_vertices, max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=n - 1, max_size=len(pairs), unique=True)
+    )
+    p = Pattern(n, chosen)
+    if not p.is_connected():
+        edges = set(chosen) | {(i, i + 1) for i in range(n - 1)}
+        p = Pattern(n, sorted(edges))
+    return p
+
+
+# ---------------------------------------------------------------------------
+# directed
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(pattern=random_dipatterns(), graph=random_digraphs())
+def test_directed_count_matches_bruteforce(pattern, graph):
+    assert count_directed(graph, pattern) == bruteforce_directed_count(graph, pattern)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=random_dipatterns(max_vertices=5))
+def test_directed_automorphisms_form_group(pattern):
+    auts = [tuple(a) for a in directed_automorphisms(pattern)]
+    n = pattern.n_vertices
+    assert tuple(range(n)) in auts
+    aut_set = set(auts)
+    for a in auts:
+        for b in auts:
+            assert tuple(a[b[i]] for i in range(n)) in aut_set
+    # subgroup order divides the skeleton group's order (Lagrange)
+    skeleton_order = automorphism_count(pattern.skeleton())
+    assert skeleton_order % len(auts) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=random_dipatterns(max_vertices=4), graph=random_digraphs(max_vertices=10))
+def test_directed_reversal_bijection(pattern, graph):
+    """count_G(P) == count_rev(G)(rev(P)): reversing all arcs on both
+    sides is a bijection on embeddings."""
+    rev_graph = digraph_from_edges(
+        [(v, u) for u, v in graph.arcs()], n_vertices=graph.n_vertices
+    )
+    assert count_directed(graph, pattern) == count_directed(
+        rev_graph, pattern.reverse()
+    )
+
+
+# ---------------------------------------------------------------------------
+# induced
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    pattern=random_connected_patterns(),
+    n=st.integers(8, 18),
+    p=st.floats(0.15, 0.45),
+    seed=st.integers(0, 5_000),
+)
+def test_induced_engine_matches_bruteforce(pattern, n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert induced_count(g, pattern, method="engine") == bruteforce_induced_count(
+        g, pattern
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pattern=random_connected_patterns(max_vertices=4),
+    n=st.integers(8, 14),
+    seed=st.integers(0, 5_000),
+)
+def test_induced_methods_agree(pattern, n, seed):
+    g = erdos_renyi(n, 0.3, seed=seed)
+    assert induced_count(g, pattern, method="engine") == induced_count(
+        g, pattern, method="moebius"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=random_connected_patterns(max_vertices=4))
+def test_supergraph_decomposition_invariants(pattern):
+    terms = supergraph_decomposition(pattern)
+    # the identity term leads; coefficients are positive integers;
+    # edge counts never decrease
+    assert terms[0].coefficient == 1
+    assert terms[0].pattern.n_edges == pattern.n_edges
+    last_edges = -1
+    for t in terms:
+        assert t.coefficient >= 1
+        assert t.pattern.n_edges >= last_edges
+        last_edges = max(last_edges, t.pattern.n_edges)
+    # total labeled supersets = 2^(#anti-edges), grouped by class:
+    # Σ a(P,Q) = 2^k with a = m(P,Q)·|Aut(P)|/|Aut(Q)|
+    n_anti = pattern.n_vertices * (pattern.n_vertices - 1) // 2 - pattern.n_edges
+    aut_p = automorphism_count(pattern)
+    total = sum(
+        t.coefficient * aut_p // automorphism_count(t.pattern) for t in terms
+    )
+    assert total == 2**n_anti
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pattern=random_connected_patterns(max_vertices=4),
+    n=st.integers(8, 14),
+    seed=st.integers(0, 5_000),
+)
+def test_induced_bounded_by_noninduced(pattern, n, seed):
+    from repro.core.api import count_pattern
+
+    g = erdos_renyi(n, 0.3, seed=seed)
+    assert 0 <= induced_count(g, pattern, method="engine") <= count_pattern(
+        g, pattern, use_iep=False
+    )

@@ -1,0 +1,127 @@
+"""Hypothesis properties of the substrate data structures."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.iep import count_distinct_tuples, count_distinct_tuples_pairs
+from repro.core.restrictions import generate_restriction_sets, validate_restriction_set
+from repro.graph.builder import graph_from_edges
+from repro.graph.intersection import (
+    VERTEX_DTYPE,
+    bounded_slice,
+    intersect,
+    intersect_galloping,
+    intersect_merge,
+)
+from repro.pattern.automorphism import automorphisms, verify_group
+from repro.pattern.pattern import Pattern
+from repro.pattern.permutation import cycle_decomposition, two_cycles
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=120), min_size=0, max_size=40
+).map(lambda xs: np.array(sorted(set(xs)), dtype=VERTEX_DTYPE))
+
+
+@given(a=sorted_arrays, b=sorted_arrays)
+@SETTINGS
+def test_intersection_kernels_agree(a, b):
+    expected = intersect_merge(a, b).tolist()
+    assert intersect(a, b).tolist() == expected
+    assert intersect_galloping(a, b).tolist() == expected
+
+
+@given(a=sorted_arrays, b=sorted_arrays)
+@SETTINGS
+def test_intersection_commutative(a, b):
+    assert intersect(a, b).tolist() == intersect(b, a).tolist()
+
+
+@given(a=sorted_arrays)
+@SETTINGS
+def test_intersection_idempotent(a):
+    assert intersect(a, a).tolist() == a.tolist()
+
+
+@given(
+    a=sorted_arrays,
+    lo=st.one_of(st.none(), st.integers(-5, 130)),
+    hi=st.one_of(st.none(), st.integers(-5, 130)),
+)
+@SETTINGS
+def test_bounded_slice_matches_filter(a, lo, hi):
+    got = bounded_slice(a, lo, hi).tolist()
+    expected = [
+        int(x) for x in a if (lo is None or x > lo) and (hi is None or x < hi)
+    ]
+    assert got == expected
+
+
+@given(sets=st.lists(sorted_arrays, min_size=1, max_size=3))
+@SETTINGS
+def test_iep_formulations_agree(sets):
+    assert count_distinct_tuples(sets) == count_distinct_tuples_pairs(sets)
+
+
+@st.composite
+def random_patterns(draw, max_vertices=5):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), min_size=1, unique=True))
+    return Pattern(n, edges)
+
+
+@given(pattern=random_patterns())
+@SETTINGS
+def test_automorphisms_form_group(pattern):
+    assert verify_group(automorphisms(pattern))
+
+
+@given(pattern=random_patterns())
+@SETTINGS
+def test_generated_restriction_sets_always_validate(pattern):
+    for rs in generate_restriction_sets(pattern, max_sets=10):
+        assert validate_restriction_set(pattern, rs)
+
+
+@given(pattern=random_patterns(max_vertices=5))
+@SETTINGS
+def test_two_cycles_are_involutive_pairs(pattern):
+    for perm in automorphisms(pattern):
+        for a, b in two_cycles(perm):
+            assert perm[a] == b and perm[b] == a and a < b
+
+
+@given(perm=st.permutations(range(6)))
+@SETTINGS
+def test_cycle_decomposition_partitions(perm):
+    cycles = cycle_decomposition(tuple(perm))
+    flat = sorted(x for c in cycles for x in c)
+    assert flat == list(range(6))
+    # Applying the permutation along each cycle is consistent.
+    for cycle in cycles:
+        for i, x in enumerate(cycle):
+            assert perm[x] == cycle[(i + 1) % len(cycle)]
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=0,
+        max_size=60,
+    )
+)
+@SETTINGS
+def test_builder_invariants(edges):
+    g = graph_from_edges(edges)
+    # No self loops, no duplicates, strictly sorted rows.
+    for v in range(g.n_vertices):
+        row = g.neighbors(v)
+        assert np.all(np.diff(row) > 0)
+        assert v not in set(row.tolist())
+    # Symmetry.
+    for u, v in g.edges():
+        assert g.has_edge(v, u)

@@ -1,0 +1,114 @@
+"""Event-driven cluster simulation: conservation, determinism, scaling shape."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cluster import ClusterSimulator, ClusterSpec, scaling_curve
+from repro.runtime.worksteal import StealPolicy
+
+
+def uniform_costs(n, value=1e-3):
+    return np.full(n, value)
+
+
+class TestSpec:
+    def test_total_threads(self):
+        assert ClusterSpec(4, threads_per_node=24).total_threads == 96
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)
+        with pytest.raises(ValueError):
+            ClusterSpec(1, threads_per_node=0)
+
+
+class TestSimulation:
+    def test_all_work_executed(self):
+        costs = uniform_costs(100)
+        res = ClusterSimulator(ClusterSpec(2, threads_per_node=2)).run(costs)
+        assert res.total_work == pytest.approx(costs.sum())
+        assert sum(res.per_node_busy) >= costs.sum()  # includes dispatch
+
+    def test_single_node_single_thread_is_serial(self):
+        costs = uniform_costs(50, 2e-3)
+        spec = ClusterSpec(1, threads_per_node=1, dispatch_overhead=0.0)
+        res = ClusterSimulator(spec).run(costs)
+        assert res.makespan == pytest.approx(costs.sum(), rel=1e-6)
+        assert res.steals == 0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        costs = rng.exponential(1e-3, 200)
+        a = ClusterSimulator(ClusterSpec(4, threads_per_node=2), seed=9).run(costs)
+        b = ClusterSimulator(ClusterSpec(4, threads_per_node=2), seed=9).run(costs)
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+
+    def test_makespan_at_least_ideal_and_max_task(self):
+        rng = np.random.default_rng(2)
+        costs = rng.exponential(1e-3, 300)
+        res = ClusterSimulator(ClusterSpec(8, threads_per_node=2)).run(costs)
+        assert res.makespan >= res.ideal_time * 0.99
+        assert res.makespan >= costs.max()
+
+    def test_stealing_happens_under_imbalance(self):
+        # Block distribution + skewed costs: the early nodes run out.
+        costs = np.concatenate([np.full(50, 5e-3), np.full(50, 1e-5)])
+        spec = ClusterSpec(4, threads_per_node=1)
+        res = ClusterSimulator(spec).run(costs, distribution="block")
+        assert res.steals > 0
+
+    def test_efficiency_bounded(self):
+        costs = uniform_costs(64)
+        res = ClusterSimulator(ClusterSpec(2, threads_per_node=2)).run(costs)
+        assert 0 < res.efficiency <= 1.0
+
+    def test_imbalance_metric(self):
+        costs = uniform_costs(40)
+        res = ClusterSimulator(ClusterSpec(2, threads_per_node=2)).run(costs)
+        assert res.imbalance >= 1.0
+
+    def test_input_validation(self):
+        sim = ClusterSimulator(ClusterSpec(1))
+        with pytest.raises(ValueError):
+            sim.run([])
+        with pytest.raises(ValueError):
+            sim.run([-1.0])
+
+
+class TestScalingShape:
+    """Figure 12's qualitative behaviour."""
+
+    def test_speedup_with_ample_parallelism(self):
+        # Many uniform tasks: near-linear until nodes * threads ~ tasks.
+        costs = uniform_costs(4000, 1e-3)
+        results = scaling_curve(costs, [1, 2, 4, 8], threads_per_node=4,
+                                steal_latency=1e-5)
+        times = [r.makespan for r in results]
+        assert times[1] < times[0] * 0.65
+        assert times[2] < times[1] * 0.65
+        assert times[3] < times[2] * 0.7
+
+    def test_saturation_with_few_tasks(self):
+        """P2/P3 on Orkut in the paper: short runs stop scaling."""
+        costs = uniform_costs(64, 1e-3)
+        results = scaling_curve(costs, [1, 16, 64], threads_per_node=4)
+        t1, t16, t64 = (r.makespan for r in results)
+        assert t16 < t1
+        # Beyond saturation, no further meaningful gain.
+        assert t64 > t16 * 0.5
+
+    def test_heavy_tail_limits_speedup(self):
+        """One giant task bounds the makespan regardless of node count."""
+        costs = np.concatenate([[0.5], np.full(500, 1e-4)])
+        results = scaling_curve(costs, [1, 32], threads_per_node=4)
+        assert results[1].makespan >= 0.5
+
+    def test_work_stealing_beats_no_stealing_under_skew(self):
+        rng = np.random.default_rng(5)
+        costs = rng.pareto(1.5, 400) * 1e-4
+        lazy = StealPolicy(steal_threshold=1, steal_batch_fraction=0.01)
+        eager = StealPolicy(steal_threshold=4, steal_batch_fraction=0.5)
+        r_lazy = scaling_curve(costs, [8], threads_per_node=2, policy=lazy)[0]
+        r_eager = scaling_curve(costs, [8], threads_per_node=2, policy=eager)[0]
+        assert r_eager.makespan <= r_lazy.makespan * 1.1

@@ -1,0 +1,78 @@
+"""Task partitioning: prefix tasks must tile the search exactly."""
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.engine import Engine
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.pattern.catalog import house, triangle
+from repro.runtime.tasks import (
+    Task,
+    choose_split_depth,
+    execute_task,
+    generate_tasks,
+    run_partitioned,
+)
+
+
+def make_plan(pattern, iep_k=0):
+    s = generate_schedules(pattern)[0]
+    rs = generate_restriction_sets(pattern)[0]
+    return Configuration(pattern, s, rs).compile(iep_k=iep_k)
+
+
+class TestSplitDepth:
+    def test_simple_pattern_single_loop(self):
+        assert choose_split_depth(make_plan(triangle())) == 1
+
+    def test_complex_pattern_two_loops(self):
+        assert choose_split_depth(make_plan(house())) == 2
+
+    def test_target_tasks_deepens(self, er_small):
+        plan = make_plan(house())
+        shallow = choose_split_depth(plan)
+        deep = choose_split_depth(plan, target_tasks=10**6, graph=er_small)
+        assert deep >= shallow
+
+    def test_never_exceeds_loops(self, er_small):
+        plan = make_plan(triangle())
+        d = choose_split_depth(plan, target_tasks=10**9, graph=er_small)
+        assert d <= plan.n_loops - 1
+
+
+class TestPartitionedRun:
+    def test_equals_direct_count(self, er_small):
+        for pattern in (triangle(), house()):
+            plan = make_plan(pattern)
+            direct = Engine(er_small, plan).count()
+            total, parts = run_partitioned(er_small, plan)
+            assert total == direct
+            assert len(parts) > 1
+
+    def test_iep_plan_partitioned(self, er_small):
+        plan = make_plan(house(), iep_k=2)
+        direct = Engine(er_small, plan).count()
+        total, _ = run_partitioned(er_small, plan, split_depth=1)
+        assert total == direct
+
+    def test_partial_sums_are_raw(self, er_small):
+        """Task results are pre-division so they can be summed."""
+        plan = make_plan(triangle())
+        engine = Engine(er_small, plan)
+        tasks = list(generate_tasks(engine, 1))
+        total_raw = sum(execute_task(engine, t) for t in tasks)
+        assert engine.finalize_count(total_raw) == engine.count()
+
+    def test_tasks_cover_disjointly(self, er_small):
+        """Every embedding is found by exactly one task: the sum over
+        tasks equals the total (no double counting, no gaps)."""
+        plan = make_plan(house())
+        engine = Engine(er_small, plan)
+        per_task = [execute_task(engine, t) for t in generate_tasks(engine, 2)]
+        assert sum(per_task) == engine.count()
+
+    def test_task_dataclass(self):
+        t = Task((3, 5))
+        assert t.depth == 2
+        assert t.prefix == (3, 5)

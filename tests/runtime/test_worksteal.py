@@ -1,0 +1,93 @@
+"""Work-stealing policy unit tests."""
+
+import pytest
+
+from repro.runtime.worksteal import StealPolicy, VictimSelector, initial_distribution
+
+
+class TestStealPolicy:
+    def test_defaults(self):
+        p = StealPolicy()
+        assert p.should_steal(0) and p.should_steal(1)
+        assert not p.should_steal(2)
+
+    def test_batch_half(self):
+        p = StealPolicy(steal_batch_fraction=0.5)
+        assert p.batch_size(10) == 5
+        assert p.batch_size(1) == 1  # at least one
+        assert p.batch_size(0) == 0
+
+    def test_batch_full(self):
+        assert StealPolicy(steal_batch_fraction=1.0).batch_size(7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StealPolicy(steal_threshold=0)
+        with pytest.raises(ValueError):
+            StealPolicy(steal_batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            StealPolicy(steal_batch_fraction=1.5)
+        with pytest.raises(ValueError):
+            StealPolicy(max_victim_probes=0)
+
+
+class TestVictimSelector:
+    def test_picks_nonempty_victim(self):
+        sel = VictimSelector(4, seed=1)
+        lengths = [0, 5, 0, 3]
+        for _ in range(20):
+            v = sel.pick(0, lengths)
+            assert v in (1, 3)
+
+    def test_never_picks_self(self):
+        sel = VictimSelector(3, seed=2)
+        lengths = [4, 4, 4]
+        assert all(sel.pick(1, lengths) != 1 for _ in range(20))
+
+    def test_none_when_all_empty(self):
+        sel = VictimSelector(3, seed=3)
+        assert sel.pick(0, [0, 0, 0]) is None
+
+    def test_deterministic_stream(self):
+        a = VictimSelector(5, seed=7)
+        b = VictimSelector(5, seed=7)
+        lengths = [1, 2, 3, 4, 5]
+        assert [a.pick(0, lengths) for _ in range(10)] == [
+            b.pick(0, lengths) for _ in range(10)
+        ]
+
+    def test_pick_loaded(self):
+        sel = VictimSelector(4, seed=1)
+        assert sel.pick_loaded(0, [9, 1, 7, 2]) == 2
+        assert sel.pick_loaded(0, [9, 0, 0, 0]) is None
+
+    def test_single_node(self):
+        sel = VictimSelector(1, seed=1)
+        assert sel.pick(0, [5]) is None
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            VictimSelector(0)
+
+
+class TestInitialDistribution:
+    def test_block_covers_all(self):
+        queues = initial_distribution(10, 3, mode="block")
+        flat = sorted(t for q in queues for t in q)
+        assert flat == list(range(10))
+        sizes = [len(q) for q in queues]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cyclic_covers_all(self):
+        queues = initial_distribution(10, 4, mode="cyclic")
+        flat = sorted(t for q in queues for t in q)
+        assert flat == list(range(10))
+        assert queues[0] == [0, 4, 8]
+
+    def test_more_nodes_than_tasks(self):
+        queues = initial_distribution(2, 5, mode="block")
+        assert sum(len(q) for q in queues) == 2
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            initial_distribution(5, 2, mode="random")

@@ -1,0 +1,105 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count"])
+        assert args.pattern == "house"
+        assert args.dataset == "wiki-vote"
+        assert not args.no_iep
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "wiki-vote" in out and "twitter" in out
+
+    def test_patterns(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "house" in out and "P6" in out
+
+    def test_count_small(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "count:" in out and "config:" in out
+
+    def test_count_matches_api(self, capsys):
+        main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+              "--scale", "0.05", "--seed", "3"])
+        out = capsys.readouterr().out
+        shown = int(out.split("count:")[1].split()[0])
+
+        from repro import PatternMatcher, get_pattern, load_dataset
+
+        graph = load_dataset("wiki-vote", scale=0.05, seed=3)
+        assert shown == PatternMatcher(get_pattern("triangle")).count(graph)
+
+    def test_plan(self, capsys):
+        rc = main(["plan", "--pattern", "rectangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--show-code"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "restriction sets" in out
+        assert "generated_count" in out
+
+    def test_motifs(self, capsys):
+        rc = main(["motifs", "--k", "3", "--dataset", "wiki-vote",
+                   "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "motif3.0" in out and "motif3.1" in out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        f = tmp_path / "g.txt"
+        f.write_text("0 1\n1 2\n0 2\n2 3\n")
+        rc = main(["count", "--pattern", "triangle", "--edge-list", str(f)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "count:   1" in out
+
+
+class TestNewFlags:
+    def test_count_induced(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3", "--induced"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vertex-induced" in out and "count:" in out
+
+    def test_count_induced_matches_api(self, capsys):
+        from repro.core.induced import induced_count
+        from repro.graph.datasets import load_dataset
+        from repro.pattern.catalog import triangle
+
+        main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+              "--scale", "0.05", "--seed", "3", "--induced"])
+        out = capsys.readouterr().out
+        shown = int(out.split("count:")[1].split()[0])
+        g = load_dataset("wiki-vote", scale=0.05, seed=3)
+        assert shown == induced_count(g, triangle(), method="engine")
+
+    def test_count_approx(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3", "--approx", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out and "hits" in out
+
+    def test_motifs_induced(self, capsys):
+        rc = main(["motifs", "--k", "3", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3", "--induced"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vertex-induced" in out

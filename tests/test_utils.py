@@ -1,0 +1,137 @@
+"""Utility layer: timing, RNG, validation, tables."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import Table, format_seconds, format_speedup
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert t.last == t.elapsed
+
+    def test_accumulates_laps(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert len(t.laps) == 3
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_timed_decorator(self):
+        @timed
+        def f(x):
+            return x * 2
+
+        assert f(21) == 42
+        assert f.call_count == 1
+        assert f.total_seconds >= 0
+        f.reset_timing()
+        assert f.call_count == 0
+
+
+class TestRng:
+    def test_seed_coercion(self):
+        a, b = make_rng(7), make_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(5, 3)
+        draws = [s.integers(0, 10**9) for s in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [r.integers(0, 10**9) for r in spawn_rngs(5, 4)]
+        b = [r.integers(0, 10**9) for r in spawn_rngs(5, 4)]
+        assert a == b
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        check_positive(1, "x")
+        check_positive(0, "x", strict=False)
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1, "x", strict=False)
+
+    def test_check_probability(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_check_index(self):
+        assert check_index(2, 5, "i") == 2
+        with pytest.raises(IndexError):
+            check_index(5, 5, "i")
+        with pytest.raises(TypeError):
+            check_index(1.5, 5, "i")
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["a", 1])
+        t.add_row(["longer", 22])
+        out = t.render()
+        assert "demo" in out
+        lines = out.splitlines()
+        assert lines[-1].startswith("longer")
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_tsv_round_trip(self):
+        t = Table(["x", "y"])
+        t.add_row(["1", "2"])
+        t.add_row(["3", "4"])
+        back = Table.from_tsv(t.to_tsv())
+        assert back.columns == ["x", "y"] and back.rows == t.rows
+
+    def test_from_tsv_empty(self):
+        with pytest.raises(ValueError):
+            Table.from_tsv("")
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(0.02).endswith("ms")
+        assert format_seconds(3.5) == "3.50 s"
+        assert format_seconds(300) == "5.0 min"
+        assert format_seconds(float("inf")) == "timeout"
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_format_speedup(self):
+        assert format_speedup(105.3) == "105x"
+        assert format_speedup(23.2) == "23.2x"
+        assert format_speedup(1.4) == "1.40x"
+        assert format_speedup(float("nan")) == "n/a"
+        assert format_speedup(0.0) == "n/a"
