@@ -8,6 +8,7 @@ bench states the scale it used.  EXPERIMENTS.md records paper-vs-measured.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -15,6 +16,10 @@ from repro.graph.datasets import load_dataset
 from repro.utils.tables import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: machine-readable benchmark records (BENCH_*.json) land in the repo
+#: root so drivers/dashboards find them without knowing the layout.
+REPO_ROOT = Path(__file__).parent.parent
 
 #: per-dataset proxy scales for the single-node benches, tuned so the
 #: full benchmark suite completes in minutes of pure Python.
@@ -52,6 +57,13 @@ def emit(table: Table, capsys, filename: str) -> None:
             print(rendered)
     else:  # pragma: no cover - direct invocation
         print(rendered)
+
+
+def emit_json(filename: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark record (``BENCH_*.json``)."""
+    path = REPO_ROOT / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def once(benchmark, fn, *args, **kwargs):

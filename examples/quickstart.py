@@ -37,6 +37,13 @@ def main() -> None:
     count = matcher.count(graph, report=report)
     print(f"\nhouse embeddings: {count}")
 
+    # Every entry point routes through the pluggable backend registry;
+    # any registered backend returns the same count.  `repro backends`
+    # lists them, docs/architecture.md shows how to add one.
+    for backend in ("interpreter", "compiled"):
+        assert matcher.count(graph, report=report, backend=backend) == count
+    print("backends agree: interpreter == compiled")
+
     # Listing the first few embeddings (tuples indexed by pattern vertex).
     print("\nfirst 5 embeddings (A, B, C, D, E):")
     for emb in matcher.match(graph, limit=5):

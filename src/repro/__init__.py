@@ -9,6 +9,14 @@ inventory and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
 from repro.core.api import PatternMatcher, count_pattern, match_pattern
+from repro.core.backend import (
+    ExecutionBackend,
+    MatchContext,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.core.directed import DirectedMatcher, count_directed, match_directed
 from repro.core.induced import induced_count
 from repro.graph.csr import Graph
@@ -26,6 +34,12 @@ __all__ = [
     "PatternMatcher",
     "count_pattern",
     "match_pattern",
+    "ExecutionBackend",
+    "MatchContext",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "DirectedMatcher",
     "count_directed",
     "match_directed",

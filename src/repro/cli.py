@@ -7,10 +7,12 @@ pipeline.
 Commands
 --------
 count    count embeddings of a pattern in a dataset/edge-list file
-         (--induced for vertex-induced semantics, --approx N for the
-         sampling estimator)
+         (--backend to pick the execution backend, --induced for
+         vertex-induced semantics, --approx N for the sampling
+         estimator)
 plan     show the preprocessing decisions (restrictions, schedule, model)
 motifs   run a k-motif census (--induced converts the census)
+backends list the registered execution backends
 datasets list the built-in dataset proxies
 patterns list the built-in patterns
 """
@@ -22,6 +24,7 @@ import sys
 import time
 
 from repro.core.api import PatternMatcher
+from repro.core.backend import available_backends, backend_names, get_backend
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.stats import GraphStats
 from repro.pattern.catalog import NAMED_PATTERNS, get_pattern, paper_patterns
@@ -44,6 +47,23 @@ def _load_graph(args):
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None, choices=backend_names(),
+                        help="execution backend (default: compiled when the "
+                             "plan supports it, interpreter otherwise)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for --backend parallel")
+
+
+def _resolve_backend(args):
+    """The backend instance the CLI flags ask for (None = default policy)."""
+    if args.backend is None:
+        return None
+    if args.backend == "parallel":
+        return get_backend("parallel", n_workers=args.workers)
+    return get_backend(args.backend)
+
+
 def cmd_count(args) -> int:
     graph = _load_graph(args)
     pattern = get_pattern(args.pattern)
@@ -63,23 +83,26 @@ def cmd_count(args) -> int:
         print(f"time:     {format_seconds(elapsed)}")
         return 0
 
+    backend = _resolve_backend(args)
     if args.induced:
         from repro.core.induced import induced_count
 
         t0 = time.perf_counter()
-        count = induced_count(graph, pattern, method="engine")
+        count = induced_count(graph, pattern, method="engine", backend=backend)
         elapsed = time.perf_counter() - t0
         print("semantics: vertex-induced (AutoMine/GraphZero definition)")
         print(f"count:   {count}")
         print(f"time:    {format_seconds(elapsed)}")
         return 0
 
-    matcher = PatternMatcher(pattern)
+    matcher = PatternMatcher(pattern, backend=backend)
     t0 = time.perf_counter()
     report = matcher.plan(graph, use_iep=not args.no_iep)
     count = matcher.count(graph, report=report)
     elapsed = time.perf_counter() - t0
     print(f"config:  {report.chosen.config.describe()}")
+    if args.backend:
+        print(f"backend: {args.backend}")
     if report.plan.iep_k:
         print(f"IEP:     innermost {report.plan.iep_k} loops")
     print(f"count:   {count}")
@@ -113,11 +136,12 @@ def cmd_motifs(args) -> int:
     from repro.mining.motifs import induced_motif_census, motif_census
 
     graph = _load_graph(args)
+    backend = _resolve_backend(args)
     t0 = time.perf_counter()
     if args.induced:
-        census = induced_motif_census(graph, args.k)
+        census = induced_motif_census(graph, args.k, backend=backend)
     else:
-        census = motif_census(graph, args.k, use_iep=not args.no_iep)
+        census = motif_census(graph, args.k, use_iep=not args.no_iep, backend=backend)
     elapsed = time.perf_counter() - t0
     semantics = "vertex-induced" if args.induced else "edge-induced"
     table = Table(["motif", "edges", "count"],
@@ -125,6 +149,16 @@ def cmd_motifs(args) -> int:
                         f"{graph.name or 'graph'} ({format_seconds(elapsed)})")
     for m in census:
         table.add_row([m.pattern.name, m.pattern.n_edges, m.count])
+    print(table.render())
+    return 0
+
+
+def cmd_backends(_args) -> int:
+    table = Table(["name", "enumerates", "description"],
+                  title="registered execution backends")
+    for name, cls in available_backends().items():
+        table.add_row([name, "yes" if cls.supports_enumeration else "no",
+                       cls().describe()])
     print(table.render())
     return 0
 
@@ -165,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="vertex-induced semantics (AutoMine/GraphZero)")
     p_count.add_argument("--approx", type=int, default=0, metavar="N",
                          help="ASAP-style sampling estimate with N trials")
+    _add_backend_arg(p_count)
     _add_graph_args(p_count)
     p_count.set_defaults(func=cmd_count)
 
@@ -180,9 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_motifs.add_argument("--no-iep", action="store_true")
     p_motifs.add_argument("--induced", action="store_true",
                           help="vertex-induced census (Möbius-converted)")
+    _add_backend_arg(p_motifs)
     _add_graph_args(p_motifs)
     p_motifs.set_defaults(func=cmd_motifs)
 
+    sub.add_parser("backends", help="list execution backends").set_defaults(
+        func=cmd_backends
+    )
     sub.add_parser("datasets", help="list dataset proxies").set_defaults(
         func=cmd_datasets
     )

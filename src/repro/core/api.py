@@ -21,9 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.backend import (
+    ExecutionBackend,
+    MatchContext,
+    get_backend,
+    select_backend,
+)
 from repro.core.codegen import GeneratedCounter, compile_plan_function
 from repro.core.config import Configuration, ExecutionPlan, enumerate_configurations
-from repro.core.engine import Engine
 from repro.core.perf_model import PerformanceModel, RankedConfiguration
 from repro.core.restrictions import RestrictionSet, generate_restriction_sets
 from repro.core.schedule import generate_schedules, independent_suffix_size
@@ -93,7 +98,16 @@ class PatternMatcher:
         optimum; see ``repro.core.schedule.dedup_schedules``).
     use_codegen:
         Execute via generated specialised code (the paper's approach)
-        instead of the interpreter.
+        instead of the interpreter.  ``use_codegen=False`` also makes
+        the *default* backend selection interpret (an explicit
+        ``backend=`` still wins).
+    backend:
+        Default execution backend for :meth:`count`/:meth:`match` — a
+        registered name (``"interpreter"``, ``"preslice"``,
+        ``"compiled"``, ``"parallel"``), an
+        :class:`~repro.core.backend.ExecutionBackend` instance, or
+        ``None`` for the compiled-first policy (generated code when the
+        plan supports it, interpreter otherwise).
     """
 
     DEFAULT_MAX_RESTRICTION_SETS = 64
@@ -105,6 +119,7 @@ class PatternMatcher:
         max_restriction_sets: int | None = DEFAULT_MAX_RESTRICTION_SETS,
         dedup_schedules: bool = True,
         use_codegen: bool = True,
+        backend: str | ExecutionBackend | None = None,
     ):
         if not pattern.is_connected():
             raise ValueError("pattern matching requires a connected pattern")
@@ -112,6 +127,7 @@ class PatternMatcher:
         self.max_restriction_sets = max_restriction_sets
         self.dedup_schedules = dedup_schedules
         self.use_codegen = use_codegen
+        self.backend = backend
         self._restriction_cache: list[RestrictionSet] | None = None
         self._schedule_cache: list | None = None
 
@@ -183,18 +199,37 @@ class PatternMatcher:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _select(
+        self,
+        ctx: MatchContext,
+        backend: str | ExecutionBackend | None,
+        *,
+        for_enumeration: bool = False,
+    ) -> ExecutionBackend:
+        requested = backend if backend is not None else self.backend
+        if requested is None and not self.use_codegen and ctx.generated is None:
+            # The user opted out of codegen: default to the interpreter
+            # rather than compiling behind their back.
+            return get_backend("interpreter")
+        return select_backend(ctx, requested, for_enumeration=for_enumeration)
+
     def count(
         self,
         graph: Graph,
         *,
         use_iep: bool = True,
         report: PlanReport | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> int:
-        """Count distinct embeddings of the pattern in ``graph``."""
+        """Count distinct embeddings of the pattern in ``graph``.
+
+        ``backend`` overrides the matcher's default for this call; all
+        registered backends return identical counts (the equivalence
+        tests pin this), they only differ in how the loop nest runs.
+        """
         rep = report or self.plan(graph, use_iep=use_iep)
-        if rep.generated is not None:
-            return rep.generated(graph)
-        return Engine(graph, rep.plan).count()
+        ctx = MatchContext(graph=graph, plan=rep.plan, generated=rep.generated)
+        return self._select(ctx, backend).count(ctx)
 
     def match(
         self,
@@ -202,23 +237,47 @@ class PatternMatcher:
         *,
         limit: int | None = None,
         report: PlanReport | None = None,
+        backend: str | ExecutionBackend | None = None,
     ):
-        """Yield embeddings as tuples indexed by pattern vertex."""
+        """Yield embeddings as tuples indexed by pattern vertex.
+
+        Enumeration needs explicit inner loops, so IEP plans are
+        recompiled with ``iep_k=0`` and counting-only backends (e.g.
+        ``compiled``) automatically fall back to the interpreter.
+        """
         rep = report or self.plan(graph, use_iep=False)
         plan = rep.plan
         if plan.iep_k:
             plan = rep.chosen.config.compile(iep_k=0)
-        return Engine(graph, plan).enumerate_embeddings(limit=limit)
+        ctx = MatchContext(graph=graph, plan=plan)
+        chosen = self._select(ctx, backend, for_enumeration=True)
+        return chosen.enumerate_embeddings(ctx, limit=limit)
 
 
 # ---------------------------------------------------------------------------
 # module-level one-shots
 # ---------------------------------------------------------------------------
-def count_pattern(graph: Graph, pattern: Pattern, *, use_iep: bool = True, **kwargs) -> int:
-    """One-shot: plan + count."""
-    return PatternMatcher(pattern, **kwargs).count(graph, use_iep=use_iep)
+def count_pattern(
+    graph: Graph,
+    pattern: Pattern,
+    *,
+    use_iep: bool = True,
+    backend: str | ExecutionBackend | None = None,
+    **kwargs,
+) -> int:
+    """One-shot: plan + count (through the selected execution backend)."""
+    return PatternMatcher(pattern, backend=backend, **kwargs).count(
+        graph, use_iep=use_iep
+    )
 
 
-def match_pattern(graph: Graph, pattern: Pattern, *, limit: int | None = None, **kwargs):
+def match_pattern(
+    graph: Graph,
+    pattern: Pattern,
+    *,
+    limit: int | None = None,
+    backend: str | ExecutionBackend | None = None,
+    **kwargs,
+):
     """One-shot: plan + enumerate embeddings."""
-    return PatternMatcher(pattern, **kwargs).match(graph, limit=limit)
+    return PatternMatcher(pattern, backend=backend, **kwargs).match(graph, limit=limit)

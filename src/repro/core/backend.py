@@ -1,0 +1,352 @@
+"""The pluggable execution-backend layer: one compiled-first matching core.
+
+GraphPi's headline speedup comes from *generating* specialised code per
+(schedule, restriction-set) configuration instead of interpreting it
+(§III "Code Generation and Compilation", Fig. 5(b)).  That only pays
+off if the generated kernel is the path every frontend actually takes —
+so this module gives the system a single execution seam:
+
+* :class:`MatchContext` — everything needed to execute one planned
+  matching job: the data graph, the compiled plan, the matching mode
+  (plain / induced / labeled / directed) and any pre-generated kernel.
+* :class:`ExecutionBackend` — the strategy interface: ``count`` a
+  context, optionally ``enumerate_embeddings`` from it.
+* a registry — backends register under a name; ``get_backend`` builds
+  them, ``select_backend`` implements the compiled-first default with
+  automatic interpreter fallback for cases code generation does not
+  cover (enumeration, induced/labeled/directed modes).
+
+Every consumer — :mod:`repro.core.api`, the CLI, the parallel runtime,
+the scenario layers and the mining workloads — dispatches through this
+registry instead of instantiating engines directly, so a new backend
+(vectorised frontiers, a distributed driver, ...) becomes available to
+all of them by registering one class.
+
+Registering a custom backend::
+
+    from repro.core.backend import ExecutionBackend, register_backend
+
+    @register_backend
+    class MyBackend(ExecutionBackend):
+        name = "mine"
+        def supports(self, ctx):
+            return ctx.mode == "plain"
+        def count(self, ctx):
+            ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.codegen import (
+    GeneratedCounter,
+    compile_plan_function,
+    compile_prefix_function,
+)
+from repro.core.config import Configuration, ExecutionPlan
+from repro.core.engine import Engine
+from repro.core.engine_variants import PreSliceEngine
+
+#: matching semantics a context can carry; backends opt into each.
+MODES = ("plain", "induced", "labeled", "directed")
+
+
+class BackendUnsupportedError(ValueError):
+    """Raised when a backend is asked to execute a context it cannot."""
+
+
+@dataclass(frozen=True)
+class MatchContext:
+    """One executable matching job, backend-agnostic.
+
+    ``graph``/``plan`` types vary by mode: a :class:`repro.graph.csr.Graph`
+    + :class:`ExecutionPlan` for plain/induced, a
+    :class:`repro.graph.labeled.LabeledGraph` + :class:`ExecutionPlan`
+    (plus ``lpattern``) for labeled, a
+    :class:`repro.graph.digraph.DiGraph` +
+    :class:`repro.core.directed.DirectedPlan` for directed.
+
+    ``generated`` optionally carries the kernel the planner already
+    compiled, so the compiled backend never re-generates it.
+    """
+
+    graph: Any
+    plan: Any
+    mode: str = "plain"
+    lpattern: Any = None
+    generated: GeneratedCounter | None = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}: expected one of {MODES}")
+        if self.mode == "labeled" and self.lpattern is None:
+            raise ValueError("labeled contexts need the labeled pattern")
+
+
+def make_engine(ctx: MatchContext):
+    """The interpreter engine matching a context's mode.
+
+    This is the single place that knows which engine class implements
+    which semantics; the interpreter and parallel backends (master *and*
+    workers) all build their engines here.
+    """
+    if ctx.mode == "plain":
+        return Engine(ctx.graph, ctx.plan)
+    if ctx.mode == "induced":
+        from repro.core.induced import InducedEngine
+
+        return InducedEngine(ctx.graph, ctx.plan)
+    if ctx.mode == "labeled":
+        from repro.core.labeled import LabeledEngine
+
+        return LabeledEngine(ctx.graph, ctx.plan, ctx.lpattern)
+    if ctx.mode == "directed":
+        from repro.core.directed import DirectedEngine
+
+        return DirectedEngine(ctx.graph, ctx.plan)
+    raise ValueError(f"unknown mode {ctx.mode!r}")  # pragma: no cover
+
+
+def make_prefix_counter(
+    ctx: MatchContext, split_depth: int, worker_backend: str
+) -> tuple[Any, str]:
+    """Build a worker-side ``prefix -> raw count`` callable via the registry.
+
+    ``worker_backend="compiled"`` gets a generated kernel when the
+    context supports one (plain mode, valid split) and silently falls
+    back to the interpreter engine otherwise — the same compiled-first
+    policy the top-level API applies.  Returns ``(counter, effective)``
+    where ``effective`` names what the counter actually is (post-
+    fallback), so callers report it rather than re-deriving the policy.
+    """
+    if (
+        worker_backend == "compiled"
+        and ctx.mode == "plain"
+        and isinstance(ctx.plan, ExecutionPlan)
+        and 1 <= split_depth < ctx.plan.n_loops
+    ):
+        kernel = compile_prefix_function(ctx.plan, split_depth)
+        graph = ctx.graph
+        return (lambda prefix: kernel(graph, prefix)), "compiled"
+    return make_engine(ctx).count_prefix, "interpreter"
+
+
+# ---------------------------------------------------------------------------
+# the backend interface and registry
+# ---------------------------------------------------------------------------
+class ExecutionBackend:
+    """Strategy interface: how to execute a :class:`MatchContext`."""
+
+    #: registry key; subclasses must override.
+    name: str = ""
+    #: whether :meth:`enumerate_embeddings` is implemented.
+    supports_enumeration: bool = False
+
+    def supports(self, ctx: MatchContext) -> bool:
+        """Whether this backend can count ``ctx``."""
+        raise NotImplementedError
+
+    def count(self, ctx: MatchContext) -> int:
+        raise NotImplementedError
+
+    def enumerate_embeddings(
+        self, ctx: MatchContext, limit: int | None = None
+    ) -> Iterator[tuple[int, ...]]:
+        raise BackendUnsupportedError(
+            f"backend {self.name!r} does not enumerate embeddings"
+        )
+
+    def _require(self, ctx: MatchContext) -> None:
+        if not self.supports(ctx):
+            raise BackendUnsupportedError(
+                f"backend {self.name!r} does not support mode {ctx.mode!r} "
+                f"(plan type {type(ctx.plan).__name__})"
+            )
+
+    def describe(self) -> str:
+        doc = (type(self).__doc__ or "").strip().splitlines()
+        return doc[0] if doc else ""
+
+
+_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator adding a backend to the registry (last wins)."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty `name`")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, registration order."""
+    return list(_REGISTRY)
+
+
+def available_backends() -> dict[str, type[ExecutionBackend]]:
+    """A copy of the registry (name -> backend class)."""
+    return dict(_REGISTRY)
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend; ``options`` go to its ctor."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}: registered backends are {backend_names()}"
+        ) from None
+    return cls(**options)
+
+
+def resolve_backend(spec: "str | ExecutionBackend | None") -> ExecutionBackend | None:
+    """Normalise a user-facing backend spec: name, instance, or None."""
+    if spec is None or isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        return get_backend(spec)
+    raise TypeError(
+        f"backend must be a name, ExecutionBackend instance or None, got {spec!r}"
+    )
+
+
+def select_backend(
+    ctx: MatchContext,
+    requested: "str | ExecutionBackend | None" = None,
+    *,
+    for_enumeration: bool = False,
+) -> ExecutionBackend:
+    """Pick the backend for a context — the compiled-first policy.
+
+    * explicit request: honoured, except that a backend that cannot
+      serve the request (wrong mode, or enumeration from a
+      counting-only backend) falls back to the interpreter — the
+      automatic fallback that keeps ``backend="compiled"`` usable as a
+      blanket default across enumerate/induced/labeled/directed calls;
+    * no request: the ``compiled`` backend whenever it supports the
+      context (and the call is a count), else the interpreter.
+    """
+    backend = resolve_backend(requested)
+    if backend is None:
+        backend = get_backend("compiled")
+    if not backend.supports(ctx) or (for_enumeration and not backend.supports_enumeration):
+        backend = get_backend("interpreter")
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# the built-in backends
+# ---------------------------------------------------------------------------
+@register_backend
+class InterpreterBackend(ExecutionBackend):
+    """Nested-loop interpreter — every mode, counting and enumeration."""
+
+    name = "interpreter"
+    supports_enumeration = True
+
+    def supports(self, ctx: MatchContext) -> bool:
+        return ctx.mode in MODES
+
+    def count(self, ctx: MatchContext) -> int:
+        self._require(ctx)
+        return make_engine(ctx).count()
+
+    def enumerate_embeddings(self, ctx, limit=None):
+        self._require(ctx)
+        return make_engine(ctx).enumerate_embeddings(limit=limit)
+
+
+@register_backend
+class PreSliceBackend(ExecutionBackend):
+    """Interpreter variant slicing restriction bounds before intersecting."""
+
+    name = "preslice"
+    supports_enumeration = True
+
+    def supports(self, ctx: MatchContext) -> bool:
+        return ctx.mode == "plain" and isinstance(ctx.plan, ExecutionPlan)
+
+    def count(self, ctx: MatchContext) -> int:
+        self._require(ctx)
+        return PreSliceEngine(ctx.graph, ctx.plan).count()
+
+    def enumerate_embeddings(self, ctx, limit=None):
+        self._require(ctx)
+        return PreSliceEngine(ctx.graph, ctx.plan).enumerate_embeddings(limit=limit)
+
+
+@register_backend
+class CompiledBackend(ExecutionBackend):
+    """Generated specialised code (the paper's execution path); count only."""
+
+    name = "compiled"
+
+    def supports(self, ctx: MatchContext) -> bool:
+        return ctx.mode == "plain" and isinstance(ctx.plan, ExecutionPlan)
+
+    def count(self, ctx: MatchContext) -> int:
+        self._require(ctx)
+        generated = ctx.generated
+        if generated is None or generated.plan is not ctx.plan:
+            generated = compile_plan_function(ctx.plan)
+        return generated(ctx.graph)
+
+
+@register_backend
+class ParallelBackend(ExecutionBackend):
+    """Multiprocess master/worker execution; workers run compiled kernels.
+
+    Constructor options: ``n_workers``, ``split_depth``, ``chunksize``
+    and ``worker_backend`` ("compiled" default, "interpreter" to force
+    interpreted workers) — all forwarded to
+    :func:`repro.runtime.parallel.parallel_count_ctx`.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        *,
+        n_workers: int | None = None,
+        split_depth: int | None = None,
+        chunksize: int = 8,
+        worker_backend: str = "compiled",
+    ):
+        self.n_workers = n_workers
+        self.split_depth = split_depth
+        self.chunksize = chunksize
+        self.worker_backend = worker_backend
+
+    def supports(self, ctx: MatchContext) -> bool:
+        # Every engine family implements the prefix-task protocol; a
+        # 1-loop plan has no outer loop to split on, so fall back.
+        return ctx.mode in MODES and ctx.plan.n_loops >= 2
+
+    def count(self, ctx: MatchContext) -> int:
+        self._require(ctx)
+        from repro.runtime.parallel import parallel_count_ctx
+
+        return parallel_count_ctx(
+            ctx,
+            n_workers=self.n_workers,
+            split_depth=self.split_depth,
+            chunksize=self.chunksize,
+            worker_backend=self.worker_backend,
+        ).count
+
+
+def plain_context(graph, plan_or_config, generated: GeneratedCounter | None = None
+                  ) -> MatchContext:
+    """Convenience: wrap a plan/configuration as a plain-mode context."""
+    if isinstance(plan_or_config, Configuration):
+        plan = plan_or_config.compile()
+    elif isinstance(plan_or_config, ExecutionPlan):
+        plan = plan_or_config
+    else:
+        raise TypeError(
+            f"expected ExecutionPlan or Configuration, got {type(plan_or_config)!r}"
+        )
+    return MatchContext(graph=graph, plan=plan, generated=generated)

@@ -46,6 +46,26 @@ class GeneratedCounter:
         return self.function(graph)
 
 
+@dataclass(frozen=True)
+class GeneratedPrefixCounter:
+    """A compiled worker-side kernel: inner loops under an outer prefix.
+
+    The contract matches :meth:`repro.core.engine.Engine.count_prefix`:
+    the prefix binds the outermost ``split_depth`` loop values (already
+    restriction-checked by the master), and the returned count is *raw*
+    (no IEP overcount division) so task partials can be summed before a
+    single final division.
+    """
+
+    plan: ExecutionPlan
+    split_depth: int
+    source: str
+    function: Callable[[Graph, tuple], int]
+
+    def __call__(self, graph: Graph, prefix: tuple) -> int:
+        return self.function(graph, prefix)
+
+
 def _bounds_expr(plan: ExecutionPlan, depth: int, base: str) -> tuple[str | None, str]:
     """Return (slice_stmt, var) applying depth's restriction bounds."""
     lo_terms = [f"v{j}" for j in plan.lower[depth]]
@@ -57,16 +77,38 @@ def _bounds_expr(plan: ExecutionPlan, depth: int, base: str) -> tuple[str | None
     return f"s{depth} = bounded_slice({base}, {lo}, {hi})", f"s{depth}"
 
 
-def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> str:
-    """Emit the specialised counting function's Python source."""
+def generate_source(
+    plan: ExecutionPlan,
+    func_name: str = "generated_count",
+    *,
+    split_depth: int = 0,
+) -> str:
+    """Emit the specialised counting function's Python source.
+
+    With ``split_depth == 0`` (default) the function takes ``(graph)``
+    and counts the whole loop nest.  With ``split_depth = s > 0`` the
+    function takes ``(graph, prefix)``: the outermost ``s`` loop values
+    come pre-bound from the prefix (the master already applied their
+    restrictions, exactly :meth:`Engine.iter_prefixes`'s contract) and
+    only the remaining inner loops are executed.  Prefix functions
+    return the *raw* count — the IEP overcount divisor is applied once
+    by the aggregator, mirroring ``Engine.count_prefix``.
+    """
     n = plan.n
     n_loops = plan.n_loops
+    if not 0 <= split_depth < n_loops:
+        raise ValueError(
+            f"split_depth must be in [0, {n_loops - 1}], got {split_depth}"
+        )
     indent = "    "
     lines: list[str] = []
     emit = lines.append
 
-    emit(f"def {func_name}(graph):")
+    args = "graph" if split_depth == 0 else "graph, prefix"
+    emit(f"def {func_name}({args}):")
     emit(f'    """Generated for {plan.config.describe()}')
+    if split_depth:
+        emit(f"    Worker kernel: outermost {split_depth} loops bound by prefix.")
     if plan.iep_k:
         emit(f"    IEP over the innermost {plan.iep_k} loops; overcount divisor "
              f"{plan.iep_overcount}.")
@@ -77,20 +119,24 @@ def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> 
     emit(f"    if nv < {n}:")
     emit("        return 0")
     emit("    total = 0")
-    if any(not plan.deps[d] for d in range(n)):
+    if any(not plan.deps[d] for d in range(split_depth, n)):
         emit("    all_vertices = np.arange(nv, dtype=indices.dtype)")
 
     # ------------------------------------------------------------------
     # hoisting plan
     # ------------------------------------------------------------------
-    # nb{d} needed if depth d's value feeds any later intersection/raw set.
+    # nb{d} needed if depth d's value feeds an intersection/raw set at an
+    # *executed* depth (>= split_depth; prefix depths have no candidates).
     nb_needed = [
-        any(d in plan.deps[later] for later in range(d + 1, n)) for d in range(n)
+        any(d in plan.deps[later] for later in range(max(d + 1, split_depth), n))
+        for d in range(n)
     ]
-    # Raw candidate var per depth: all_vertices / nb{j} / hoisted c{d}.
+    # Raw candidate var per executed/inner depth: all_vertices / nb{j} /
+    # hoisted c{d}.  A multi-dep intersection whose operands are all
+    # prefix-bound hoists into the preamble.
     raw_var: dict[int, str] = {}
     hoist_at: dict[int, list[int]] = {}
-    for d in range(n):
+    for d in range(split_depth, n):
         deps = plan.deps[d]
         if not deps:
             raw_var[d] = "all_vertices"
@@ -109,15 +155,25 @@ def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> 
             emit(f"{pad}c{d} = intersect_many([{args}])")
 
     # ------------------------------------------------------------------
+    # prefix preamble (worker kernels only)
+    # ------------------------------------------------------------------
+    for j in range(split_depth):
+        emit(f"    v{j} = prefix[{j}]")
+        emit_loop_body_setup(j, indent)
+
+    # ------------------------------------------------------------------
     # outer loops
     # ------------------------------------------------------------------
-    for depth in range(n_loops - 1):
-        pad = indent * (depth + 1)
+    for depth in range(split_depth, n_loops - 1):
+        pad = indent * (depth - split_depth + 1)
         stmt, cand = _bounds_expr(plan, depth, raw_var[depth])
         if stmt:
             emit(f"{pad}{stmt}")
-        emit(f"{pad}for v{depth} in {cand}:")
-        body = indent * (depth + 2)
+        # .tolist() iterates plain Python ints: cheaper per-iteration
+        # than boxing numpy scalars, and downstream indexing/compares
+        # stay in the fast int path.
+        emit(f"{pad}for v{depth} in {cand}.tolist():")
+        body = indent * (depth - split_depth + 2)
         distinct = [f"v{depth} != v{j}" for j in range(depth)]
         if distinct:
             emit(f"{body}if not ({' and '.join(distinct)}):")
@@ -128,7 +184,7 @@ def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> 
     # innermost executed loop
     # ------------------------------------------------------------------
     last = n_loops - 1
-    pad = indent * (last + 1)
+    pad = indent * (last - split_depth + 1)
     stmt, cand = _bounds_expr(plan, last, raw_var[last])
     if stmt:
         emit(f"{pad}{stmt}")
@@ -139,7 +195,7 @@ def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> 
             emit(f"{pad}{indent}cnt -= 1")
         emit(f"{pad}total += cnt")
     else:
-        emit(f"{pad}for v{last} in {cand}:")
+        emit(f"{pad}for v{last} in {cand}.tolist():")
         body = pad + indent
         distinct = [f"v{last} != v{j}" for j in range(last)]
         if distinct:
@@ -148,8 +204,10 @@ def generate_source(plan: ExecutionPlan, func_name: str = "generated_count") -> 
         emit_loop_body_setup(last, body)
         _emit_iep(plan, emit, body, raw_var)
 
-    emit("    return total" if plan.iep_overcount == 1 else
-         f"    return total // {plan.iep_overcount}")
+    if split_depth or plan.iep_overcount == 1:
+        emit("    return total")
+    else:
+        emit(f"    return total // {plan.iep_overcount}")
     return "\n".join(lines) + "\n"
 
 
@@ -228,9 +286,7 @@ def _emit_iep(plan: ExecutionPlan, emit, pad: str, raw_var: dict[int, str]) -> N
     emit(f"{pad}total += {expr}")
 
 
-def compile_plan_function(plan: ExecutionPlan) -> GeneratedCounter:
-    """Generate, ``exec`` and wrap the specialised counter."""
-    source = generate_source(plan)
+def _exec_generated(source: str, plan: ExecutionPlan, func_name: str):
     namespace = {
         "np": np,
         "intersect_many": intersect_many,
@@ -239,4 +295,27 @@ def compile_plan_function(plan: ExecutionPlan) -> GeneratedCounter:
     }
     exec(compile(source, f"<generated:{plan.config.pattern.name or 'pattern'}>", "exec"),
          namespace)
-    return GeneratedCounter(plan=plan, source=source, function=namespace["generated_count"])
+    return namespace[func_name]
+
+
+def compile_plan_function(plan: ExecutionPlan) -> GeneratedCounter:
+    """Generate, ``exec`` and wrap the specialised counter."""
+    source = generate_source(plan)
+    function = _exec_generated(source, plan, "generated_count")
+    return GeneratedCounter(plan=plan, source=source, function=function)
+
+
+def compile_prefix_function(plan: ExecutionPlan, split_depth: int) -> GeneratedPrefixCounter:
+    """Generate, ``exec`` and wrap the worker-side prefix kernel.
+
+    Pairs with :meth:`repro.core.engine.Engine.iter_prefixes`: the master
+    enumerates prefixes (interpreted — outer loops are a vanishing
+    fraction of the work), workers run this specialised kernel per task.
+    """
+    source = generate_source(
+        plan, func_name="generated_count_prefix", split_depth=split_depth
+    )
+    function = _exec_generated(source, plan, "generated_count_prefix")
+    return GeneratedPrefixCounter(
+        plan=plan, split_depth=split_depth, source=source, function=function
+    )

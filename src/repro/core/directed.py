@@ -530,10 +530,21 @@ class DirectedMatcher:
         *,
         use_iep: bool = False,
         report: DirectedPlanReport | None = None,
+        backend=None,
     ) -> int:
-        """Count distinct directed embeddings."""
+        """Count distinct directed embeddings.
+
+        Dispatches through the execution-backend registry
+        (:mod:`repro.core.backend`); code generation does not cover
+        directed plans, so the compiled-first default resolves to the
+        interpreter, while ``backend="parallel"`` distributes prefix
+        tasks over worker processes.
+        """
+        from repro.core.backend import MatchContext, select_backend
+
         rep = report or self.plan(graph, use_iep=use_iep)
-        return DirectedEngine(graph, rep.plan).count()
+        ctx = MatchContext(graph=graph, plan=rep.plan, mode="directed")
+        return select_backend(ctx, backend).count(ctx)
 
     def match(
         self,
@@ -541,21 +552,31 @@ class DirectedMatcher:
         *,
         limit: int | None = None,
         report: DirectedPlanReport | None = None,
+        backend=None,
     ) -> Iterator[tuple[int, ...]]:
         """Yield distinct directed embeddings (tuples by pattern vertex)."""
+        from repro.core.backend import MatchContext, select_backend
+
         rep = report or self.plan(graph)
         if rep.plan.iep_k:
             rep = self.plan(graph, use_iep=False)
-        return DirectedEngine(graph, rep.plan).enumerate_embeddings(limit=limit)
+        ctx = MatchContext(graph=graph, plan=rep.plan, mode="directed")
+        chosen = select_backend(ctx, backend, for_enumeration=True)
+        return chosen.enumerate_embeddings(ctx, limit=limit)
 
 
-def count_directed(graph: DiGraph, pattern: DiPattern, **kwargs) -> int:
+def count_directed(graph: DiGraph, pattern: DiPattern, *, backend=None, **kwargs) -> int:
     """One-shot: plan + count directed embeddings."""
-    return DirectedMatcher(pattern, **kwargs).count(graph)
+    return DirectedMatcher(pattern, **kwargs).count(graph, backend=backend)
 
 
 def match_directed(
-    graph: DiGraph, pattern: DiPattern, *, limit: int | None = None, **kwargs
+    graph: DiGraph,
+    pattern: DiPattern,
+    *,
+    limit: int | None = None,
+    backend=None,
+    **kwargs,
 ) -> Iterator[tuple[int, ...]]:
     """One-shot: plan + enumerate directed embeddings."""
-    return DirectedMatcher(pattern, **kwargs).match(graph, limit=limit)
+    return DirectedMatcher(pattern, **kwargs).match(graph, limit=limit, backend=backend)

@@ -93,10 +93,19 @@ class InducedEngine(Engine):
         return cand
 
 
-def induced_count_engine(graph: Graph, config: Configuration) -> int:
-    """Vertex-induced embedding count under one configuration."""
+def induced_count_engine(graph: Graph, config: Configuration, *, backend=None) -> int:
+    """Vertex-induced embedding count under one configuration.
+
+    Dispatches through the execution-backend registry: anti-edge
+    filtering lives in the interpreter engine family, so the
+    compiled-first default resolves to the interpreter, and
+    ``backend="parallel"`` runs the same engine under prefix tasks.
+    """
+    from repro.core.backend import MatchContext, select_backend
+
     plan = config.compile(iep_k=0)
-    return InducedEngine(graph, plan).count()
+    ctx = MatchContext(graph=graph, plan=plan, mode="induced")
+    return select_backend(ctx, backend).count(ctx)
 
 
 def induced_enumerate(
@@ -243,13 +252,16 @@ def induced_count(
     pattern: Pattern,
     *,
     method: str = "engine",
+    backend=None,
     **matcher_kwargs,
 ) -> int:
     """Count vertex-induced embeddings of ``pattern`` in ``graph``.
 
     ``method="engine"`` plans with the normal GraphPi pipeline and runs
-    the anti-edge-filtering engine; ``method="moebius"`` combines
-    edge-induced counts of the supergraph lattice (can exploit IEP).
+    the anti-edge-filtering engine (through the backend registry);
+    ``method="moebius"`` combines edge-induced counts of the supergraph
+    lattice (can exploit IEP — and each term's edge-induced count runs
+    on the requested backend, compiled by default).
     Both are tested to agree.
     """
     if pattern.n_vertices > 1 and not pattern.is_connected():
@@ -259,7 +271,15 @@ def induced_count(
 
         matcher = PatternMatcher(pattern, use_codegen=False, **matcher_kwargs)
         report = matcher.plan(graph, use_iep=False, codegen=False)
-        return induced_count_engine(graph, report.chosen.config)
+        return induced_count_engine(graph, report.chosen.config, backend=backend)
     if method == "moebius":
-        return induced_count_via_moebius(graph, pattern)
+        if backend is None:
+            return induced_count_via_moebius(graph, pattern)
+        from repro.core.api import count_pattern
+
+        return induced_count_via_moebius(
+            graph,
+            pattern,
+            noninduced_counter=lambda g, p: count_pattern(g, p, backend=backend),
+        )
     raise ValueError(f"unknown method {method!r}: expected 'engine' or 'moebius'")

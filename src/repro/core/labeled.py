@@ -206,19 +206,36 @@ class LabeledMatcher:
             n_schedules=len(self._schedules),
         )
 
-    def count(self, lgraph: LabeledGraph, *, use_iep: bool = False) -> int:
+    def count(self, lgraph: LabeledGraph, *, use_iep: bool = False, backend=None) -> int:
+        """Count labeled embeddings through the backend registry.
+
+        Label filtering lives in the interpreter engine family, so the
+        compiled-first default resolves to the interpreter;
+        ``backend="parallel"`` fans prefix tasks out to workers (which
+        rebuild the labeled engine via the registry).
+        """
+        from repro.core.backend import MatchContext, select_backend
+
         report = self.plan(lgraph, use_iep=use_iep)
-        return LabeledEngine(lgraph, report.plan, self.lpattern).count()
+        ctx = MatchContext(
+            graph=lgraph, plan=report.plan, mode="labeled", lpattern=self.lpattern
+        )
+        return select_backend(ctx, backend).count(ctx)
 
-    def match(self, lgraph: LabeledGraph, *, limit: int | None = None):
+    def match(self, lgraph: LabeledGraph, *, limit: int | None = None, backend=None):
+        from repro.core.backend import MatchContext, select_backend
+
         report = self.plan(lgraph)
-        engine = LabeledEngine(lgraph, report.plan, self.lpattern)
-        return engine.enumerate_embeddings(limit=limit)
+        ctx = MatchContext(
+            graph=lgraph, plan=report.plan, mode="labeled", lpattern=self.lpattern
+        )
+        chosen = select_backend(ctx, backend, for_enumeration=True)
+        return chosen.enumerate_embeddings(ctx, limit=limit)
 
 
-def labeled_count(lgraph: LabeledGraph, lpattern: LabeledPattern) -> int:
+def labeled_count(lgraph: LabeledGraph, lpattern: LabeledPattern, *, backend=None) -> int:
     """One-shot labeled counting."""
-    return LabeledMatcher(lpattern).count(lgraph)
+    return LabeledMatcher(lpattern).count(lgraph, backend=backend)
 
 
 def labeled_bruteforce_count(lgraph: LabeledGraph, lpattern: LabeledPattern) -> int:

@@ -21,13 +21,18 @@ from repro.graph.intersection import bounded_slice, intersect
 from repro.pattern.catalog import clique
 
 
-def clique_count(graph: Graph, k: int, *, use_iep: bool = True) -> int:
-    """Count k-cliques via the full GraphPi pipeline."""
+def clique_count(graph: Graph, k: int, *, use_iep: bool = True, backend=None) -> int:
+    """Count k-cliques via the full GraphPi pipeline.
+
+    ``backend`` picks the execution backend from the registry
+    (compiled-first by default; ``"parallel"`` fans the ordered
+    enumeration out over worker processes).
+    """
     if k < 2:
         raise ValueError("cliques need k >= 2")
     if k == 2:
         return graph.n_edges
-    return PatternMatcher(clique(k)).count(graph, use_iep=use_iep)
+    return PatternMatcher(clique(k), backend=backend).count(graph, use_iep=use_iep)
 
 
 def clique_count_ordered(graph: Graph, k: int) -> int:

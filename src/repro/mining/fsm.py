@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import permutations
 
-from repro.core.labeled import LabeledEngine, LabeledMatcher
+from repro.core.backend import MatchContext, make_engine
+from repro.core.labeled import LabeledMatcher
 from repro.graph.labeled import LabeledGraph
 from repro.pattern.labeled import LabeledPattern, labeled_automorphisms
 from repro.pattern.pattern import Pattern
@@ -68,7 +69,9 @@ def mni_support(lgraph: LabeledGraph, lp: LabeledPattern) -> int:
         return int(len(lgraph.vertices_with_label(lp.labels[0])))
     matcher = LabeledMatcher(lp)
     report = matcher.plan(lgraph)
-    engine = LabeledEngine(lgraph, report.plan, lp)
+    engine = make_engine(
+        MatchContext(graph=lgraph, plan=report.plan, mode="labeled", lpattern=lp)
+    )
     auts = labeled_automorphisms(lp)
     domains: list[set[int]] = [set() for _ in range(n)]
     for emb in engine.enumerate_embeddings():

@@ -26,32 +26,37 @@ class MotifCount:
         return f"MotifCount({self.pattern.name}: {self.count})"
 
 
-def motif_census(graph: Graph, k: int, *, use_iep: bool = True) -> list[MotifCount]:
+def motif_census(
+    graph: Graph, k: int, *, use_iep: bool = True, backend=None
+) -> list[MotifCount]:
     """Count every connected k-vertex motif in ``graph``.
 
     Returns counts ordered by edge count then canonical form (stable
     across runs).  k ≤ 5 keeps the pattern set small (3, 6, 21 motifs
-    for k = 3, 4, 5).
+    for k = 3, 4, 5).  ``backend`` selects the execution backend for
+    every per-pattern count (default: compiled-first).
     """
     if k < 3:
         raise ValueError("motif census is defined for k >= 3")
     results: list[MotifCount] = []
     for pattern in connected_patterns(k):
-        matcher = PatternMatcher(pattern)
+        matcher = PatternMatcher(pattern, backend=backend)
         results.append(MotifCount(pattern, matcher.count(graph, use_iep=use_iep)))
     return results
 
 
-def motif_frequencies(graph: Graph, k: int, *, use_iep: bool = True) -> dict[str, float]:
+def motif_frequencies(
+    graph: Graph, k: int, *, use_iep: bool = True, backend=None
+) -> dict[str, float]:
     """Relative motif frequencies (counts normalised to sum 1)."""
-    census = motif_census(graph, k, use_iep=use_iep)
+    census = motif_census(graph, k, use_iep=use_iep, backend=backend)
     total = sum(m.count for m in census)
     if total == 0:
         return {m.pattern.name: 0.0 for m in census}
     return {m.pattern.name: m.count / total for m in census}
 
 
-def induced_motif_census(graph: Graph, k: int) -> list[MotifCount]:
+def induced_motif_census(graph: Graph, k: int, *, backend=None) -> list[MotifCount]:
     """Count every connected k-vertex motif under *vertex-induced*
     semantics (the AutoMine/GraphZero definition, §V-A).
 
@@ -62,7 +67,7 @@ def induced_motif_census(graph: Graph, k: int) -> list[MotifCount]:
     """
     from repro.core.induced import supergraph_decomposition
 
-    census = motif_census(graph, k, use_iep=True)
+    census = motif_census(graph, k, use_iep=True, backend=backend)
     noninduced = {canonical_form(m.pattern): m.count for m in census}
     induced: dict[tuple[int, int], int] = {}
     # Densest-first back-substitution (same recurrence as

@@ -151,14 +151,14 @@ class MotifZScore:
         )
 
 
-def _count(graph, pattern) -> int:
+def _count(graph, pattern, backend=None) -> int:
     if isinstance(pattern, DiPattern):
         from repro.core.directed import count_directed
 
-        return count_directed(graph, pattern)
+        return count_directed(graph, pattern, backend=backend)
     from repro.core.api import count_pattern
 
-    return count_pattern(graph, pattern)
+    return count_pattern(graph, pattern, backend=backend)
 
 
 def motif_significance(
@@ -168,6 +168,7 @@ def motif_significance(
     n_random: int = 10,
     swaps_per_edge: int = 10,
     seed=None,
+    backend=None,
 ) -> list[MotifZScore]:
     """z-scores for ``patterns`` against a degree-preserving ensemble.
 
@@ -194,8 +195,8 @@ def motif_significance(
     ]
     out: list[MotifZScore] = []
     for pattern in patterns:
-        observed = _count(graph, pattern)
-        null_counts = tuple(_count(g, pattern) for g in ensemble)
+        observed = _count(graph, pattern, backend)
+        null_counts = tuple(_count(g, pattern, backend) for g in ensemble)
         arr = np.asarray(null_counts, dtype=np.float64)
         out.append(
             MotifZScore(

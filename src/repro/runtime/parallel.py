@@ -5,6 +5,15 @@ analogue for one node is a ``multiprocessing`` pool of workers pulling
 prefix tasks from the master.  The graph and plan are shipped once per
 worker (fork/initializer), not per task; tasks are tiny tuples.
 
+Workers build their execution path through the backend registry
+(:func:`repro.core.backend.make_prefix_counter`): by default each
+worker compiles the specialised inner-loop kernel for its plan
+(``worker_backend="compiled"``) and falls back to the interpreter
+engine for contexts code generation does not cover (induced, labeled,
+directed).  The master always interprets the outer loops — they are a
+vanishing fraction of the work, and :meth:`Engine.iter_prefixes` already
+applies outer restrictions so workers receive only viable prefixes.
+
 Python-specific honesty note: processes, not threads (the GIL would
 serialise CPU-bound matching), and speedups are bounded by the host's
 core count — the *cluster-scale* behaviour is studied with the
@@ -15,26 +24,26 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.core.backend import MatchContext, make_engine, make_prefix_counter, plain_context
 from repro.core.config import Configuration, ExecutionPlan
-from repro.core.engine import Engine
 from repro.graph.csr import Graph
 from repro.runtime.tasks import Task, choose_split_depth, generate_tasks
 
-# Worker-global engine, installed by the pool initializer so that tasks
-# only carry their prefix tuples.
-_worker_engine: Engine | None = None
+# Worker-global prefix counter, installed by the pool initializer so
+# that tasks only carry their prefix tuples.
+_worker_counter = None
 
 
-def _init_worker(graph: Graph, plan: ExecutionPlan) -> None:
-    global _worker_engine
-    _worker_engine = Engine(graph, plan)
+def _init_worker(ctx: MatchContext, split_depth: int, worker_backend: str) -> None:
+    global _worker_counter
+    _worker_counter, _ = make_prefix_counter(ctx, split_depth, worker_backend)
 
 
 def _run_task(prefix: tuple[int, ...]) -> int:
-    assert _worker_engine is not None, "worker pool not initialised"
-    return _worker_engine.count_prefix(prefix)
+    assert _worker_counter is not None, "worker pool not initialised"
+    return _worker_counter(prefix)
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,53 @@ class ParallelResult:
     n_tasks: int
     n_workers: int
     split_depth: int
+    worker_backend: str = "interpreter"
+
+
+def parallel_count_ctx(
+    ctx: MatchContext,
+    *,
+    n_workers: int | None = None,
+    split_depth: int | None = None,
+    chunksize: int = 8,
+    worker_backend: str = "compiled",
+) -> ParallelResult:
+    """Count a :class:`MatchContext` with a pool of worker processes.
+
+    The master (this process) enumerates prefix tasks lazily and streams
+    them to the pool; partial raw counts are summed and the IEP divisor
+    applied once at the end — the same aggregation the distributed
+    implementation performs.
+    """
+    engine = make_engine(ctx)
+    depth = split_depth if split_depth is not None else choose_split_depth(ctx.plan)
+    workers = n_workers or max(1, (os.cpu_count() or 2))
+    # Built once for the fallback name even on the pool path: what the
+    # workers will actually run, post-fallback.
+    counter, effective = make_prefix_counter(ctx, depth, worker_backend)
+
+    tasks = (t.prefix for t in generate_tasks(engine, depth))
+    if workers == 1:
+        raw = 0
+        n_tasks = 0
+        for p in tasks:
+            raw += counter(p)
+            n_tasks += 1
+        return ParallelResult(engine.finalize_count(raw), n_tasks, 1, depth, effective)
+
+    mp_ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    n_tasks = 0
+    raw = 0
+    # A pre-generated kernel is an exec() product and does not pickle
+    # under spawn; workers re-derive their own kernel anyway.
+    ship = replace(ctx, generated=None)
+    with mp_ctx.Pool(
+        workers, initializer=_init_worker, initargs=(ship, depth, worker_backend)
+    ) as pool:
+        for sub in pool.imap_unordered(_run_task, tasks, chunksize=chunksize):
+            raw += sub
+            n_tasks += 1
+    return ParallelResult(engine.finalize_count(raw), n_tasks, workers, depth, effective)
 
 
 def parallel_count(
@@ -52,37 +108,23 @@ def parallel_count(
     n_workers: int | None = None,
     split_depth: int | None = None,
     chunksize: int = 8,
+    worker_backend: str = "compiled",
 ) -> ParallelResult:
-    """Count embeddings using a pool of worker processes.
+    """Count embeddings of a plain (undirected, unlabeled) plan in parallel.
 
-    The master (this process) enumerates prefix tasks lazily and streams
-    them to the pool; partial raw counts are summed and the IEP divisor
-    applied once at the end — the same aggregation the distributed
-    implementation performs.
+    Thin wrapper building a plain :class:`MatchContext`; see
+    :func:`parallel_count_ctx` for the general entry point the
+    ``parallel`` backend uses.
     """
-    plan = plan_or_config if isinstance(plan_or_config, ExecutionPlan) else (
-        plan_or_config.compile() if isinstance(plan_or_config, Configuration) else None
-    )
-    if plan is None:
+    if not isinstance(plan_or_config, (ExecutionPlan, Configuration)):
         raise TypeError("parallel_count expects an ExecutionPlan or Configuration")
-    engine = Engine(graph, plan)
-    depth = split_depth if split_depth is not None else choose_split_depth(plan)
-    workers = n_workers or max(1, (os.cpu_count() or 2))
-
-    tasks = (t.prefix for t in generate_tasks(engine, depth))
-    if workers == 1:
-        raw = sum(engine.count_prefix(p) for p in tasks)
-        n_tasks = sum(1 for _ in generate_tasks(engine, depth))
-        return ParallelResult(engine.finalize_count(raw), n_tasks, 1, depth)
-
-    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-    n_tasks = 0
-    raw = 0
-    with ctx.Pool(workers, initializer=_init_worker, initargs=(graph, plan)) as pool:
-        for sub in pool.imap_unordered(_run_task, tasks, chunksize=chunksize):
-            raw += sub
-            n_tasks += 1
-    return ParallelResult(engine.finalize_count(raw), n_tasks, workers, depth)
+    return parallel_count_ctx(
+        plain_context(graph, plan_or_config),
+        n_workers=n_workers,
+        split_depth=split_depth,
+        chunksize=chunksize,
+        worker_backend=worker_backend,
+    )
 
 
 def measure_task_costs(
@@ -96,12 +138,14 @@ def measure_task_costs(
 
     ``limit`` caps how many tasks are timed (the scaling benchmark uses
     a cap plus cost-model extrapolation for very large task sets).
+    Measured on the interpreter engine: the cluster simulator models the
+    distributed implementation's relative task skew, not kernel speed.
     """
     import time
 
-    plan = plan_or_config if isinstance(plan_or_config, ExecutionPlan) else plan_or_config.compile()
-    engine = Engine(graph, plan)
-    depth = split_depth if split_depth is not None else choose_split_depth(plan)
+    ctx = plain_context(graph, plan_or_config)
+    engine = make_engine(ctx)
+    depth = split_depth if split_depth is not None else choose_split_depth(ctx.plan)
     costs: list[float] = []
     for i, task in enumerate(generate_tasks(engine, depth)):
         if limit is not None and i >= limit:

@@ -62,12 +62,18 @@ def generate_tasks(engine: Engine, split_depth: int) -> Iterator[Task]:
         yield Task(prefix)
 
 
-def execute_task(engine: Engine, task: Task) -> int:
+def execute_task(counter, task: Task) -> int:
     """Worker-side: finish the inner loops under the task's prefix.
 
-    Returns the raw (pre-IEP-division) count so partial results sum.
+    ``counter`` is anything the backend registry hands a worker — an
+    engine exposing ``count_prefix`` (interpreter family) or a bare
+    ``prefix -> raw count`` callable (a compiled kernel from
+    :func:`repro.core.backend.make_prefix_counter`).  Returns the raw
+    (pre-IEP-division) count so partial results sum.
     """
-    return engine.count_prefix(task.prefix)
+    if hasattr(counter, "count_prefix"):
+        return counter.count_prefix(task.prefix)
+    return counter(task.prefix)
 
 
 def run_partitioned(graph: Graph, plan: ExecutionPlan, *, split_depth: int | None = None

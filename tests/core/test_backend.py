@@ -1,0 +1,240 @@
+"""The pluggable execution-backend layer.
+
+Two halves: registry mechanics (registration, lookup, the
+compiled-first selection policy) and the cross-backend equivalence
+catalog — every registered backend must return counts identical to the
+brute-force oracle for every pattern in the catalog, on plain,
+induced, labeled and directed workloads where the backend supports
+them.
+"""
+
+import pytest
+
+from repro.baselines.bruteforce import (
+    bruteforce_count,
+    bruteforce_directed_count,
+    bruteforce_induced_count,
+)
+from repro.core.api import PatternMatcher, count_pattern
+from repro.core.backend import (
+    BackendUnsupportedError,
+    ExecutionBackend,
+    MatchContext,
+    available_backends,
+    backend_names,
+    get_backend,
+    make_prefix_counter,
+    plain_context,
+    register_backend,
+    select_backend,
+)
+from repro.core.config import Configuration
+from repro.core.directed import DirectedMatcher
+from repro.core.induced import induced_count
+from repro.core.labeled import LabeledMatcher, labeled_bruteforce_count
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.graph.digraph import random_digraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.labeled import assign_random_labels
+from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+from repro.pattern.directed import directed_cycle, transitive_triangle
+from repro.pattern.labeled import LabeledPattern
+
+BUILTIN = ("interpreter", "preslice", "compiled", "parallel")
+
+#: the equivalence catalog: every backend must agree with brute force
+#: on each of these.
+CATALOG = [triangle(), rectangle(), house(), pentagon(), clique(5)]
+
+
+def make_plan(pattern, iep_k=0):
+    s = generate_schedules(pattern)[0]
+    rs = generate_restriction_sets(pattern)[0]
+    return Configuration(pattern, s, rs).compile(iep_k=iep_k)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = backend_names()
+        for name in BUILTIN:
+            assert name in names
+
+    def test_available_backends_is_a_copy(self):
+        snapshot = available_backends()
+        snapshot["bogus"] = object
+        assert "bogus" not in backend_names()
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_get_backend_forwards_options(self):
+        b = get_backend("parallel", n_workers=3, worker_backend="interpreter")
+        assert b.n_workers == 3
+        assert b.worker_backend == "interpreter"
+
+    def test_register_custom_backend(self, er_small):
+        @register_backend
+        class FortyTwoBackend(ExecutionBackend):
+            name = "forty-two"
+
+            def supports(self, ctx):
+                return ctx.mode == "plain"
+
+            def count(self, ctx):
+                return 42
+
+        from repro.core import backend as backend_mod
+
+        try:
+            assert "forty-two" in backend_names()
+            assert count_pattern(er_small, triangle(), backend="forty-two") == 42
+        finally:
+            # deregister so other tests see only the real backends
+            backend_mod._REGISTRY.pop("forty-two", None)
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend(type("Anon", (ExecutionBackend,), {}))
+
+    def test_context_validates_mode(self, er_small):
+        with pytest.raises(ValueError, match="unknown mode"):
+            MatchContext(graph=er_small, plan=make_plan(triangle()), mode="quantum")
+
+    def test_labeled_context_needs_lpattern(self, er_small):
+        with pytest.raises(ValueError, match="labeled"):
+            MatchContext(graph=er_small, plan=make_plan(triangle()), mode="labeled")
+
+    def test_plain_context_rejects_garbage(self, er_small):
+        with pytest.raises(TypeError):
+            plain_context(er_small, 42)
+
+
+class TestSelection:
+    def test_default_is_compiled_for_plain_counts(self, er_small):
+        ctx = plain_context(er_small, make_plan(house()))
+        assert select_backend(ctx, None).name == "compiled"
+
+    def test_enumeration_falls_back_to_interpreter(self, er_small):
+        ctx = plain_context(er_small, make_plan(house()))
+        chosen = select_backend(ctx, "compiled", for_enumeration=True)
+        assert chosen.name == "interpreter"
+
+    def test_unsupported_mode_falls_back(self, er_small):
+        ctx = MatchContext(graph=er_small, plan=make_plan(house()), mode="induced")
+        assert select_backend(ctx, "compiled").name == "interpreter"
+
+    def test_explicit_instance_is_honoured(self, er_small):
+        ctx = plain_context(er_small, make_plan(house()))
+        inst = get_backend("preslice")
+        assert select_backend(ctx, inst) is inst
+
+    def test_counting_only_backend_refuses_enumeration(self, er_small):
+        ctx = plain_context(er_small, make_plan(triangle()))
+        with pytest.raises(BackendUnsupportedError):
+            get_backend("compiled").enumerate_embeddings(ctx)
+
+    def test_require_raises_for_wrong_mode(self, er_small):
+        ctx = MatchContext(graph=er_small, plan=make_plan(triangle()), mode="induced")
+        with pytest.raises(BackendUnsupportedError):
+            get_backend("compiled").count(ctx)
+
+
+class TestCrossBackendEquivalence:
+    """Acceptance criterion: identical counts across every backend."""
+
+    @pytest.mark.parametrize("backend", BUILTIN)
+    def test_plain_catalog_matches_bruteforce(self, er_small, backend):
+        spec = (
+            get_backend("parallel", n_workers=2) if backend == "parallel" else backend
+        )
+        for pattern in CATALOG:
+            expected = bruteforce_count(er_small, pattern)
+            got = count_pattern(er_small, pattern, backend=spec)
+            assert got == expected, (backend, pattern.name)
+
+    @pytest.mark.parametrize("backend", BUILTIN)
+    def test_plain_catalog_without_iep(self, er_small, backend):
+        for pattern in [triangle(), house()]:
+            expected = bruteforce_count(er_small, pattern)
+            assert (
+                count_pattern(er_small, pattern, use_iep=False, backend=backend)
+                == expected
+            ), (backend, pattern.name)
+
+    @pytest.mark.parametrize("backend", ["interpreter", "parallel"])
+    def test_induced(self, er_small, backend):
+        for pattern in [house(), rectangle()]:
+            expected = bruteforce_induced_count(er_small, pattern)
+            assert induced_count(er_small, pattern, backend=backend) == expected
+
+    @pytest.mark.parametrize("backend", ["interpreter", "parallel"])
+    def test_directed(self, backend):
+        dig = random_digraph(45, 0.12, seed=11)
+        for dp in [directed_cycle(3), transitive_triangle()]:
+            expected = bruteforce_directed_count(dig, dp)
+            got = DirectedMatcher(dp).count(dig, backend=backend)
+            assert got == expected, dp
+
+    def test_match_directed_oneshot_accepts_backend(self):
+        from repro.core.directed import match_directed
+
+        dig = random_digraph(25, 0.15, seed=3)
+        dp = transitive_triangle()
+        embs = list(match_directed(dig, dp, limit=5, backend="interpreter"))
+        assert all(len(e) == 3 for e in embs)
+
+    @pytest.mark.parametrize("backend", ["interpreter", "parallel"])
+    def test_labeled(self, backend):
+        g = erdos_renyi(35, 0.25, seed=5)
+        lg = assign_random_labels(g, 2, seed=7)
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        expected = labeled_bruteforce_count(lg, lp)
+        got = LabeledMatcher(lp).count(lg, backend=backend)
+        assert got == expected
+
+    def test_match_results_identical_across_enumerating_backends(self, er_small):
+        pattern = house()
+        m = PatternMatcher(pattern)
+        base = {frozenset(e) for e in m.match(er_small, backend="interpreter")}
+        pre = {frozenset(e) for e in m.match(er_small, backend="preslice")}
+        # compiled cannot enumerate -> automatic interpreter fallback
+        fall = {frozenset(e) for e in m.match(er_small, backend="compiled")}
+        assert base == pre == fall
+
+    def test_use_codegen_false_defaults_to_interpreter(self, er_small):
+        m = PatternMatcher(triangle(), use_codegen=False)
+        assert m.count(er_small) == bruteforce_count(er_small, triangle())
+
+
+class TestParallelWorkers:
+    def test_compiled_worker_kernel_matches_interpreter(self, er_small):
+        plan = make_plan(house(), iep_k=0)
+        ctx = plain_context(er_small, plan)
+        compiled, compiled_kind = make_prefix_counter(ctx, 1, "compiled")
+        interp, interp_kind = make_prefix_counter(ctx, 1, "interpreter")
+        assert (compiled_kind, interp_kind) == ("compiled", "interpreter")
+        from repro.core.engine import Engine
+
+        for prefix in Engine(er_small, plan).iter_prefixes(1):
+            assert compiled(prefix) == interp(prefix), prefix
+
+    def test_nonplain_context_falls_back_to_interpreter_workers(self, er_small):
+        ctx = MatchContext(graph=er_small, plan=make_plan(house()), mode="induced")
+        counter, effective = make_prefix_counter(ctx, 1, "compiled")
+        assert effective == "interpreter"
+        # bound method of an InducedEngine, not a compiled closure
+        assert getattr(counter, "__self__", None) is not None
+
+    def test_parallel_reports_worker_backend(self, er_small):
+        from repro.runtime.parallel import parallel_count
+
+        plan = make_plan(house())
+        res = parallel_count(er_small, plan, n_workers=2)
+        assert res.worker_backend == "compiled"
+        res_i = parallel_count(
+            er_small, plan, n_workers=2, worker_backend="interpreter"
+        )
+        assert res_i.worker_backend == "interpreter"
+        assert res.count == res_i.count

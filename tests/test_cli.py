@@ -103,3 +103,35 @@ class TestNewFlags:
         assert rc == 0
         out = capsys.readouterr().out
         assert "vertex-induced" in out
+
+
+class TestBackendFlags:
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("interpreter", "preslice", "compiled", "parallel"):
+            assert name in out
+
+    def test_count_backend_flag_matches_default(self, capsys):
+        args = ["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                "--scale", "0.05", "--seed", "3"]
+        main(args)
+        base = int(capsys.readouterr().out.split("count:")[1].split()[0])
+        for backend in ("interpreter", "preslice", "compiled"):
+            main(args + ["--backend", backend])
+            out = capsys.readouterr().out
+            assert f"backend: {backend}" in out
+            assert int(out.split("count:")[1].split()[0]) == base
+
+    def test_count_parallel_backend_with_workers(self, capsys):
+        args = ["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                "--scale", "0.05", "--seed", "3"]
+        main(args)
+        base = int(capsys.readouterr().out.split("count:")[1].split()[0])
+        main(args + ["--backend", "parallel", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert int(out.split("count:")[1].split()[0]) == base
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--backend", "warp-drive"])
