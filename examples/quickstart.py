@@ -1,58 +1,84 @@
 #!/usr/bin/env python
-"""Quickstart: count and list a pattern in a graph, the GraphPi way.
+"""Quickstart: the unified MatchQuery/MatchSession facade.
 
-The paper's user contract (§III): input a pattern and a data graph,
-get embeddings.  Everything else — restriction-set generation, schedule
-selection, the performance model, code generation, IEP — happens inside
-``PatternMatcher``.
+The paper's user contract (§III): input a pattern and a data graph, get
+embeddings.  The modern surface makes that one declarative query object
+(:class:`repro.MatchQuery` — pattern + mode + semantics + planner
+knobs) run against one graph-bound session (:class:`repro.MatchSession`)
+that caches plans: restriction-set generation (Algorithm 1), schedule
+selection, the performance model, code generation and IEP all happen on
+the first sight of a query fingerprint and are replayed for free on
+every repeat.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PatternMatcher, get_pattern, load_dataset
+from repro import MatchQuery, MatchSession, get_pattern, load_dataset
 
 
 def main() -> None:
     # A scaled-down proxy of the paper's Wiki-Vote graph (Table I).
     graph = load_dataset("wiki-vote", scale=0.3, seed=7)
+    session = MatchSession(graph)
     print(f"data graph: {graph}")
 
     # The paper's running example: the 5-vertex House pattern (Fig. 5).
-    pattern = get_pattern("house")
-    print(f"pattern:    {pattern}")
+    query = MatchQuery(get_pattern("house"))
+    print(f"query:      {query!r}")
 
-    matcher = PatternMatcher(pattern)
+    # --- first count: plans (the paper's Figure 3 pipeline) + executes
+    cold = session.count(query)
+    print("\n--- cold call (cache miss: full preprocessing) ---")
+    print(f"count            : {cold.count}")
+    print(f"backend          : {cold.backend}")
+    print(f"configuration    : {cold.provenance}")
+    print(f"planning time    : {cold.seconds_plan * 1e3:.1f} ms")
+    print(f"execution time   : {cold.seconds_execute * 1e3:.1f} ms")
 
-    # Planning is explicit if you want to see what the system decided.
-    report = matcher.plan(graph, use_iep=True)
-    print("\n--- preprocessing (the paper's Figure 3 pipeline) ---")
+    # --- second count: identical fingerprint -> plan-cache hit
+    warm = session.count(MatchQuery(get_pattern("house")))
+    print("\n--- warm call (cache hit: planning amortised to zero) ---")
+    print(f"count            : {warm.count}  (cache_hit={warm.cache_hit})")
+    print(f"execution time   : {warm.seconds_execute * 1e3:.1f} ms")
+    print(f"cache            : {session.cache_info()}")
+
+    # The full plan is inspectable: PlanEntry keeps the report of the
+    # mode-specific planner (restriction sets, ranking, generated code).
+    entry = session.plan_for(query)
+    report = entry.report
+    print("\n--- preprocessing detail (Table III pipeline) ---")
     print(f"restriction sets generated : {len(report.restriction_sets)}")
     print(f"efficient schedules        : {report.n_schedules}")
     print(f"configurations ranked      : {len(report.ranking)}")
-    print(f"chosen configuration       : {report.chosen.config.describe()}")
     print(f"IEP absorbs innermost k    : {report.plan.iep_k}")
-    print(f"preprocessing time         : {report.seconds_total * 1e3:.1f} ms")
 
-    # Counting (uses the generated specialised code + IEP).
-    count = matcher.count(graph, report=report)
-    print(f"\nhouse embeddings: {count}")
-
-    # Every entry point routes through the pluggable backend registry;
-    # any registered backend returns the same count.  `repro backends`
+    # Every query routes through the pluggable backend registry; any
+    # registered backend returns the same count.  `repro backends`
     # lists them, docs/architecture.md shows how to add one.
     for backend in ("interpreter", "compiled"):
-        assert matcher.count(graph, report=report, backend=backend) == count
-    print("backends agree: interpreter == compiled")
+        assert session.count(query, backend=backend) == cold.count
+    print("\nbackends agree: interpreter == compiled")
 
-    # Listing the first few embeddings (tuples indexed by pattern vertex).
+    # Vertex-induced semantics (the AutoMine/GraphZero definition,
+    # §V-A) is a query option, not a separate API.
+    induced = session.count(MatchQuery(get_pattern("house"), semantics="induced"))
+    print(f"vertex-induced house embeddings: {induced.count}")
+
+    # Batch workloads: count_many shares the cache across the batch.
+    names = ("triangle", "rectangle", "house")
+    batch = session.count_many([MatchQuery(get_pattern(n)) for n in names])
+    print("batch:", dict(zip(names, (r.count for r in batch))))
+
+    # Listing embeddings (tuples indexed by pattern vertex); the
+    # IEP-free enumeration plan is cached under its own fingerprint.
     print("\nfirst 5 embeddings (A, B, C, D, E):")
-    for emb in matcher.match(graph, limit=5):
+    for emb in session.enumerate(query, limit=5):
         print(f"  {emb}")
 
     # The generated code itself is inspectable — the Python analogue of
     # the C++ the paper's code generator emits (Fig. 5(b)).
     print("\n--- generated counting code ---")
-    print(report.generated.source)
+    print(entry.generated.source)
 
 
 if __name__ == "__main__":

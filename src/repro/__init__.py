@@ -8,7 +8,9 @@ graph, pick a pattern, count/match.  See DESIGN.md for the full system
 inventory and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
-from repro.core.api import PatternMatcher, count_pattern, match_pattern
+from repro.core.api import PatternMatcher, count_pattern, match_pattern, match_query
+from repro.core.query import MatchQuery, MatchResult
+from repro.core.session import MatchSession, get_session
 from repro.core.backend import (
     ExecutionBackend,
     MatchContext,
@@ -34,6 +36,11 @@ __all__ = [
     "PatternMatcher",
     "count_pattern",
     "match_pattern",
+    "match_query",
+    "MatchQuery",
+    "MatchResult",
+    "MatchSession",
+    "get_session",
     "ExecutionBackend",
     "MatchContext",
     "available_backends",

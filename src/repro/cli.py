@@ -7,11 +7,13 @@ pipeline.
 Commands
 --------
 count    count embeddings of a pattern in a dataset/edge-list file
-         (--backend to pick the execution backend, --induced for
-         vertex-induced semantics, --approx N for the sampling
-         estimator)
+         (--mode plain|labeled|directed, --semantics edge|induced,
+         --backend to pick the execution backend, --approx N for the
+         sampling estimator; every mode routes through the unified
+         MatchQuery/MatchSession facade with its plan cache)
 plan     show the preprocessing decisions (restrictions, schedule, model)
-motifs   run a k-motif census (--induced converts the census)
+motifs   run a k-motif census (--induced converts the census; the whole
+         census shares one MatchSession, so plans are reused)
 backends list the registered execution backends
 datasets list the built-in dataset proxies
 patterns list the built-in patterns
@@ -25,6 +27,8 @@ import time
 
 from repro.core.api import PatternMatcher
 from repro.core.backend import available_backends, backend_names, get_backend
+from repro.core.query import MatchQuery
+from repro.core.session import get_session
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.stats import GraphStats
 from repro.pattern.catalog import NAMED_PATTERNS, get_pattern, paper_patterns
@@ -64,16 +68,68 @@ def _resolve_backend(args):
     return get_backend(args.backend)
 
 
+def _mode_inputs(args, graph):
+    """(data graph, pattern) for the requested matching mode.
+
+    Raises ValueError for bad inputs; ``cmd_count`` turns that into the
+    usual ``error: ...`` + exit code 2.
+    """
+    if args.mode == "labeled":
+        from repro.graph.labeled import assign_random_labels
+        from repro.pattern.labeled import LabeledPattern
+
+        if args.labels < 1:
+            raise ValueError("--labels must be >= 1")
+        base = get_pattern(args.pattern)
+        data = assign_random_labels(graph, args.labels, seed=args.seed)
+        pattern = LabeledPattern(
+            base, tuple(i % args.labels for i in range(base.n_vertices))
+        )
+        return data, pattern
+    if args.mode == "directed":
+        from repro.graph.digraph import digraph_from_edges
+        from repro.pattern.directed import get_directed_pattern
+
+        pattern = get_directed_pattern(args.pattern)
+        data = digraph_from_edges(
+            list(graph.edges()), n_vertices=graph.n_vertices, name=graph.name
+        )
+        return data, pattern
+    return graph, get_pattern(args.pattern)
+
+
+def _describe_pattern(pattern) -> str:
+    from repro.pattern.directed import DiPattern
+    from repro.pattern.labeled import LabeledPattern
+
+    if isinstance(pattern, LabeledPattern):
+        return (f"{pattern.name or pattern!r} ({pattern.n_vertices} vertices, "
+                f"{pattern.pattern.n_edges} edges, labels={list(pattern.labels)})")
+    if isinstance(pattern, DiPattern):
+        return (f"{pattern.name or pattern!r} ({pattern.n_vertices} vertices, "
+                f"{pattern.n_arcs} arcs)")
+    return (f"{pattern.name or pattern!r} ({pattern.n_vertices} vertices, "
+            f"{pattern.n_edges} edges)")
+
+
 def cmd_count(args) -> int:
     graph = _load_graph(args)
-    pattern = get_pattern(args.pattern)
-    print(f"graph:   {graph}")
-    print(f"pattern: {pattern.name or pattern!r} "
-          f"({pattern.n_vertices} vertices, {pattern.n_edges} edges)")
+    semantics = "induced" if (args.induced or args.semantics == "induced") else "edge"
+    if semantics == "induced" and args.mode != "plain":
+        print(f"error: --semantics induced is only defined for --mode plain, "
+              f"not {args.mode!r}", file=sys.stderr)
+        return 2
 
     if args.approx:
+        if args.mode != "plain" or semantics != "edge":
+            print("error: --approx only supports --mode plain with edge "
+                  "semantics", file=sys.stderr)
+            return 2
         from repro.approx.sampling import approximate_count
 
+        pattern = get_pattern(args.pattern)
+        print(f"graph:   {graph}")
+        print(f"pattern: {_describe_pattern(pattern)}")
         t0 = time.perf_counter()
         res = approximate_count(graph, pattern, n_samples=args.approx, seed=args.seed)
         elapsed = time.perf_counter() - t0
@@ -83,31 +139,40 @@ def cmd_count(args) -> int:
         print(f"time:     {format_seconds(elapsed)}")
         return 0
 
-    backend = _resolve_backend(args)
-    if args.induced:
-        from repro.core.induced import induced_count
-
-        t0 = time.perf_counter()
-        count = induced_count(graph, pattern, method="engine", backend=backend)
-        elapsed = time.perf_counter() - t0
+    try:
+        data, pattern = _mode_inputs(args, graph)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.mode == "labeled":
+        print(f"graph:   {graph} with {args.labels} random labels")
+    else:
+        print(f"graph:   {data}")
+    print(f"pattern: {_describe_pattern(pattern)}")
+    if args.mode == "directed":
+        print("orientation: undirected edges oriented low id -> high id")
+    if semantics == "induced":
         print("semantics: vertex-induced (AutoMine/GraphZero definition)")
-        print(f"count:   {count}")
-        print(f"time:    {format_seconds(elapsed)}")
-        return 0
 
-    matcher = PatternMatcher(pattern, backend=backend)
+    query = MatchQuery(
+        pattern=pattern,
+        mode=args.mode,
+        semantics=semantics,
+        use_iep=False if args.no_iep else None,
+    )
+    session = get_session(data)
     t0 = time.perf_counter()
-    report = matcher.plan(graph, use_iep=not args.no_iep)
-    count = matcher.count(graph, report=report)
+    result = session.count(query, backend=_resolve_backend(args))
     elapsed = time.perf_counter() - t0
-    print(f"config:  {report.chosen.config.describe()}")
-    if args.backend:
-        print(f"backend: {args.backend}")
-    if report.plan.iep_k:
-        print(f"IEP:     innermost {report.plan.iep_k} loops")
-    print(f"count:   {count}")
+    print(f"config:  {result.provenance}")
+    print(f"backend: {result.backend}")
+    plan = session.plan_for(query).plan
+    if plan.iep_k:
+        print(f"IEP:     innermost {plan.iep_k} loops")
+    print(f"count:   {result.count}")
     print(f"time:    {format_seconds(elapsed)} "
-          f"(preprocessing {format_seconds(report.seconds_total)})")
+          f"(preprocessing {format_seconds(result.seconds_plan)}"
+          f"{', plan-cache hit' if result.cache_hit else ''})")
     return 0
 
 
@@ -137,11 +202,13 @@ def cmd_motifs(args) -> int:
 
     graph = _load_graph(args)
     backend = _resolve_backend(args)
+    session = get_session(graph)  # one session: plans reused across the census
     t0 = time.perf_counter()
     if args.induced:
-        census = induced_motif_census(graph, args.k, backend=backend)
+        census = induced_motif_census(graph, args.k, backend=backend, session=session)
     else:
-        census = motif_census(graph, args.k, use_iep=not args.no_iep, backend=backend)
+        census = motif_census(graph, args.k, use_iep=not args.no_iep,
+                              backend=backend, session=session)
     elapsed = time.perf_counter() - t0
     semantics = "vertex-induced" if args.induced else "edge-induced"
     table = Table(["motif", "edges", "count"],
@@ -150,6 +217,8 @@ def cmd_motifs(args) -> int:
     for m in census:
         table.add_row([m.pattern.name, m.pattern.n_edges, m.count])
     print(table.render())
+    info = session.cache_info()
+    print(f"plan cache: {info.size} plans, {info.hits} hits, {info.misses} misses")
     return 0
 
 
@@ -193,10 +262,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_count = sub.add_parser("count", help="count embeddings")
-    p_count.add_argument("--pattern", default="house")
+    p_count.add_argument("--pattern", default="house",
+                         help="pattern name; with --mode directed use a "
+                              "directed name (ffl, bifan, dcycle-N, ...)")
+    p_count.add_argument("--mode", default="plain",
+                         choices=["plain", "labeled", "directed"],
+                         help="matching mode (default plain); labeled "
+                              "assigns random vertex labels, directed "
+                              "orients the dataset's edges low->high")
+    p_count.add_argument("--semantics", default="edge",
+                         choices=["edge", "induced"],
+                         help="edge-induced (GraphPi) or vertex-induced "
+                              "(AutoMine/GraphZero) semantics")
+    p_count.add_argument("--labels", type=int, default=3, metavar="N",
+                         help="label alphabet size for --mode labeled")
     p_count.add_argument("--no-iep", action="store_true")
     p_count.add_argument("--induced", action="store_true",
-                         help="vertex-induced semantics (AutoMine/GraphZero)")
+                         help="alias for --semantics induced")
     p_count.add_argument("--approx", type=int, default=0, metavar="N",
                          help="ASAP-style sampling estimate with N trials")
     _add_backend_arg(p_count)

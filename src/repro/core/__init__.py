@@ -62,6 +62,8 @@ from repro.core.perf_model_ext import (
     four_cycle_count,
 )
 from repro.core.api import PatternMatcher, PlanReport, count_pattern, match_pattern
+from repro.core.query import MatchQuery, MatchResult
+from repro.core.session import MatchSession, PlanEntry, get_session, plan_plain
 
 __all__ = [
     "LabeledEngine",
@@ -114,4 +116,10 @@ __all__ = [
     "PlanReport",
     "count_pattern",
     "match_pattern",
+    "MatchQuery",
+    "MatchResult",
+    "MatchSession",
+    "PlanEntry",
+    "get_session",
+    "plan_plain",
 ]

@@ -2,84 +2,54 @@
 
 The paper's user contract (§III): *"Users only need to input a pattern
 and a data graph in the form of adjacency lists to run GraphPi."*  The
-equivalent here:
+modern surface is the query/session pair::
 
->>> from repro import PatternMatcher, load_dataset, get_pattern
->>> g = load_dataset("wiki-vote", scale=0.2)
->>> matcher = PatternMatcher(get_pattern("house"))
->>> matcher.count(g)                # counting (IEP-accelerated)
->>> matcher.count(g, use_iep=False) # plain enumeration count
->>> list(matcher.match(g, limit=5)) # list embeddings
+>>> from repro import MatchQuery, MatchSession, load_dataset, get_pattern
+>>> session = MatchSession(load_dataset("wiki-vote", scale=0.2))
+>>> session.count(MatchQuery(get_pattern("house")))   # plans + counts
+>>> session.count(MatchQuery(get_pattern("house")))   # plan-cache hit
 
-``PatternMatcher.plan`` exposes the whole preprocessing pipeline —
-restriction-set generation (Algorithm 1), 2-phase schedule generation,
-performance-model ranking, code generation — together with its timings
-(Table III measures exactly this).
+This module keeps the historical entry points — :class:`PatternMatcher`,
+:func:`count_pattern`, :func:`match_pattern` — as **thin shims** over
+that session layer: they build a :class:`~repro.core.query.MatchQuery`
+and dispatch through :func:`~repro.core.session.get_session`, so
+repeated counts against the same graph object reuse cached plans
+instead of re-running the preprocessing pipeline (Algorithm 1
+restrictions, 2-phase schedules, model ranking, code generation — what
+Table III shows is expensive) on every call.
+
+``PatternMatcher.plan`` still exposes the whole preprocessing pipeline
+together with its timings (Table III measures exactly this); the
+:class:`~repro.core.session.PlanReport` it returns now lives in the
+session layer and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.backend import (
-    ExecutionBackend,
-    MatchContext,
-    get_backend,
-    select_backend,
-)
-from repro.core.codegen import GeneratedCounter, compile_plan_function
-from repro.core.config import Configuration, ExecutionPlan, enumerate_configurations
-from repro.core.perf_model import PerformanceModel, RankedConfiguration
+from repro.core.backend import ExecutionBackend, MatchContext
+from repro.core.query import MatchQuery, MatchResult  # noqa: F401 (re-export)
 from repro.core.restrictions import RestrictionSet, generate_restriction_sets
-from repro.core.schedule import generate_schedules, independent_suffix_size
+from repro.core.schedule import generate_schedules
+from repro.core.session import (  # noqa: F401 (PlanReport re-exported)
+    MatchSession,
+    PlanEntry,
+    PlanReport,
+    get_session,
+    plan_plain,
+    resolve_execution_backend,
+)
 from repro.graph.csr import Graph
 from repro.graph.stats import GraphStats
 from repro.pattern.pattern import Pattern
-from repro.utils.timing import Timer
-
-
-@dataclass(frozen=True)
-class PlanReport:
-    """Everything preprocessing produced, plus wall-clock timings."""
-
-    pattern: Pattern
-    stats: GraphStats
-    restriction_sets: tuple[RestrictionSet, ...]
-    n_schedules: int
-    ranking: tuple[RankedConfiguration, ...]
-    chosen: RankedConfiguration
-    generated: GeneratedCounter | None
-    seconds_restrictions: float
-    seconds_schedules: float
-    seconds_model: float
-    seconds_codegen: float
-
-    @property
-    def plan(self) -> ExecutionPlan:
-        return self.chosen.plan
-
-    @property
-    def seconds_total(self) -> float:
-        return (
-            self.seconds_restrictions
-            + self.seconds_schedules
-            + self.seconds_model
-            + self.seconds_codegen
-        )
-
-    def describe(self) -> str:
-        c = self.chosen
-        return (
-            f"pattern={self.pattern.name or self.pattern!r} "
-            f"{len(self.restriction_sets)} restriction sets x "
-            f"{self.n_schedules} schedules -> {len(self.ranking)} configurations; "
-            f"chose {c.config.describe()} (predicted cost {c.predicted_cost:.3g}); "
-            f"preprocessing {self.seconds_total * 1e3:.1f} ms"
-        )
 
 
 class PatternMatcher:
     """Plans and executes matching of one pattern on data graphs.
+
+    A thin shim over the session layer: each :meth:`count`/:meth:`match`
+    builds a declarative :class:`~repro.core.query.MatchQuery` and runs
+    it through the shared :class:`~repro.core.session.MatchSession` of
+    the target graph, so identical repeat calls hit the plan cache.
 
     Parameters
     ----------
@@ -131,6 +101,19 @@ class PatternMatcher:
         self._restriction_cache: list[RestrictionSet] | None = None
         self._schedule_cache: list | None = None
 
+    def _query(self, *, use_iep: bool, codegen: bool | None = None) -> MatchQuery:
+        """The declarative form of one call against this matcher."""
+        return MatchQuery(
+            pattern=self.pattern,
+            mode="plain",
+            semantics="edge",
+            use_iep=use_iep,
+            backend=self.backend,
+            max_restriction_sets=self.max_restriction_sets,
+            dedup_schedules=self.dedup_schedules,
+            use_codegen=self.use_codegen if codegen is None else codegen,
+        )
+
     # ------------------------------------------------------------------
     # preprocessing
     # ------------------------------------------------------------------
@@ -158,42 +141,29 @@ class PatternMatcher:
     ) -> PlanReport:
         """Run the full preprocessing pipeline and pick a configuration.
 
-        Provide either a graph (stats are computed) or precomputed
-        ``stats``.  ``use_iep`` asks the model to score configurations
-        with the innermost independent loops replaced by IEP.
+        Provide either a graph (stats are computed once per session and
+        the resulting plan is cached there) or precomputed ``stats``
+        (planned directly, no cache).  ``use_iep`` asks the model to
+        score configurations with the innermost independent loops
+        replaced by IEP.
         """
         if stats is None:
             if graph is None:
                 raise ValueError("plan() needs a graph or precomputed GraphStats")
-            stats = GraphStats.of(graph)
-
-        with Timer() as t_res:
-            res_sets = self.restriction_sets()
-        with Timer() as t_sched:
-            schedules = self.schedules()
-        with Timer() as t_model:
-            configs = enumerate_configurations(self.pattern, schedules, res_sets)
-            model = PerformanceModel(stats)
-            iep_k = independent_suffix_size(self.pattern) if use_iep else 0
-            ranking = model.rank(configs, iep_k=iep_k)
-        chosen = ranking[0]
-        generated = None
+            entry = get_session(graph).plan_for(
+                self._query(use_iep=use_iep, codegen=codegen)
+            )
+            return entry.report
         do_codegen = self.use_codegen if codegen is None else codegen
-        with Timer() as t_gen:
-            if do_codegen:
-                generated = compile_plan_function(chosen.plan)
-        return PlanReport(
-            pattern=self.pattern,
-            stats=stats,
-            restriction_sets=tuple(res_sets),
-            n_schedules=len(schedules),
-            ranking=tuple(ranking),
-            chosen=chosen,
-            generated=generated,
-            seconds_restrictions=t_res.elapsed,
-            seconds_schedules=t_sched.elapsed,
-            seconds_model=t_model.elapsed,
-            seconds_codegen=t_gen.elapsed,
+        return plan_plain(
+            self.pattern,
+            stats,
+            use_iep=use_iep,
+            max_restriction_sets=self.max_restriction_sets,
+            dedup_schedules=self.dedup_schedules,
+            codegen=do_codegen,
+            restriction_sets=self.restriction_sets(),
+            schedules=self.schedules(),
         )
 
     # ------------------------------------------------------------------
@@ -206,12 +176,15 @@ class PatternMatcher:
         *,
         for_enumeration: bool = False,
     ) -> ExecutionBackend:
+        # The explicit-report execution paths share the session layer's
+        # selection policy (one implementation, no drift).
         requested = backend if backend is not None else self.backend
-        if requested is None and not self.use_codegen and ctx.generated is None:
-            # The user opted out of codegen: default to the interpreter
-            # rather than compiling behind their back.
-            return get_backend("interpreter")
-        return select_backend(ctx, requested, for_enumeration=for_enumeration)
+        return resolve_execution_backend(
+            ctx,
+            requested,
+            use_codegen=self.use_codegen,
+            for_enumeration=for_enumeration,
+        )
 
     def count(
         self,
@@ -226,10 +199,17 @@ class PatternMatcher:
         ``backend`` overrides the matcher's default for this call; all
         registered backends return identical counts (the equivalence
         tests pin this), they only differ in how the loop nest runs.
+        An explicit ``report`` executes that exact plan; otherwise the
+        graph's session plans once and replays the cached plan on every
+        identical call.
         """
-        rep = report or self.plan(graph, use_iep=use_iep)
-        ctx = MatchContext(graph=graph, plan=rep.plan, generated=rep.generated)
-        return self._select(ctx, backend).count(ctx)
+        if report is not None:
+            ctx = MatchContext(graph=graph, plan=report.plan, generated=report.generated)
+            return self._select(ctx, backend).count(ctx)
+        result = get_session(graph).count(
+            self._query(use_iep=use_iep), backend=backend
+        )
+        return result.count
 
     def match(
         self,
@@ -245,13 +225,28 @@ class PatternMatcher:
         recompiled with ``iep_k=0`` and counting-only backends (e.g.
         ``compiled``) automatically fall back to the interpreter.
         """
-        rep = report or self.plan(graph, use_iep=False)
-        plan = rep.plan
-        if plan.iep_k:
-            plan = rep.chosen.config.compile(iep_k=0)
-        ctx = MatchContext(graph=graph, plan=plan)
-        chosen = self._select(ctx, backend, for_enumeration=True)
-        return chosen.enumerate_embeddings(ctx, limit=limit)
+        if report is not None:
+            plan = report.plan
+            if plan.iep_k:
+                plan = report.chosen.config.compile(iep_k=0)
+            ctx = MatchContext(graph=graph, plan=plan)
+            chosen = self._select(ctx, backend, for_enumeration=True)
+            return chosen.enumerate_embeddings(ctx, limit=limit)
+        return get_session(graph).enumerate(
+            self._query(use_iep=False), limit=limit, backend=backend
+        )
+
+    def result(
+        self,
+        graph: Graph,
+        *,
+        use_iep: bool = True,
+        backend: str | ExecutionBackend | None = None,
+    ) -> MatchResult:
+        """Like :meth:`count` but returning the structured
+        :class:`~repro.core.query.MatchResult` (backend used, plan
+        provenance, cache hit/miss, timings)."""
+        return get_session(graph).count(self._query(use_iep=use_iep), backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -265,7 +260,11 @@ def count_pattern(
     backend: str | ExecutionBackend | None = None,
     **kwargs,
 ) -> int:
-    """One-shot: plan + count (through the selected execution backend)."""
+    """One-shot: plan + count (through the selected execution backend).
+
+    A shim over the graph's shared session — repeated one-shot calls
+    with the same pattern and graph hit the plan cache.
+    """
     return PatternMatcher(pattern, backend=backend, **kwargs).count(
         graph, use_iep=use_iep
     )
@@ -281,3 +280,20 @@ def match_pattern(
 ):
     """One-shot: plan + enumerate embeddings."""
     return PatternMatcher(pattern, backend=backend, **kwargs).match(graph, limit=limit)
+
+
+def match_query(
+    graph,
+    query: MatchQuery | Pattern,
+    *,
+    backend: str | ExecutionBackend | None = None,
+) -> MatchResult:
+    """One-shot declarative entry point: run ``query`` against ``graph``.
+
+    Accepts any graph kind the session layer supports (plain, labeled,
+    directed) and any :class:`~repro.core.query.MatchQuery` (or a bare
+    pattern, which is wrapped).  Equivalent to
+    ``get_session(graph).count(query, backend=backend)``; a call-level
+    ``backend`` wins over the query's own preference.
+    """
+    return get_session(graph).count(query, backend=backend)

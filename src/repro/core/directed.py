@@ -524,6 +524,16 @@ class DirectedMatcher:
             seconds_total=t.elapsed,
         )
 
+    def _query(self, *, use_iep: bool):
+        from repro.core.query import MatchQuery
+
+        return MatchQuery(
+            pattern=self.pattern,
+            mode="directed",
+            use_iep=use_iep,
+            max_restriction_sets=self.max_restriction_sets,
+        )
+
     def count(
         self,
         graph: DiGraph,
@@ -534,17 +544,24 @@ class DirectedMatcher:
     ) -> int:
         """Count distinct directed embeddings.
 
-        Dispatches through the execution-backend registry
-        (:mod:`repro.core.backend`); code generation does not cover
-        directed plans, so the compiled-first default resolves to the
-        interpreter, while ``backend="parallel"`` distributes prefix
-        tasks over worker processes.
+        Dispatches through the unified session facade and its backend
+        registry (:mod:`repro.core.backend`); code generation does not
+        cover directed plans, so the compiled-first default resolves to
+        the interpreter, while ``backend="parallel"`` distributes prefix
+        tasks over worker processes.  An explicit ``report`` executes
+        that exact plan; otherwise plans are cached on the graph's
+        shared session.
         """
-        from repro.core.backend import MatchContext, select_backend
+        if report is not None:
+            from repro.core.backend import MatchContext, select_backend
 
-        rep = report or self.plan(graph, use_iep=use_iep)
-        ctx = MatchContext(graph=graph, plan=rep.plan, mode="directed")
-        return select_backend(ctx, backend).count(ctx)
+            ctx = MatchContext(graph=graph, plan=report.plan, mode="directed")
+            return select_backend(ctx, backend).count(ctx)
+        from repro.core.session import get_session
+
+        return get_session(graph).count(
+            self._query(use_iep=use_iep), backend=backend
+        ).count
 
     def match(
         self,
@@ -555,14 +572,17 @@ class DirectedMatcher:
         backend=None,
     ) -> Iterator[tuple[int, ...]]:
         """Yield distinct directed embeddings (tuples by pattern vertex)."""
-        from repro.core.backend import MatchContext, select_backend
+        if report is not None and not report.plan.iep_k:
+            from repro.core.backend import MatchContext, select_backend
 
-        rep = report or self.plan(graph)
-        if rep.plan.iep_k:
-            rep = self.plan(graph, use_iep=False)
-        ctx = MatchContext(graph=graph, plan=rep.plan, mode="directed")
-        chosen = select_backend(ctx, backend, for_enumeration=True)
-        return chosen.enumerate_embeddings(ctx, limit=limit)
+            ctx = MatchContext(graph=graph, plan=report.plan, mode="directed")
+            chosen = select_backend(ctx, backend, for_enumeration=True)
+            return chosen.enumerate_embeddings(ctx, limit=limit)
+        from repro.core.session import get_session
+
+        return get_session(graph).enumerate(
+            self._query(use_iep=False), limit=limit, backend=backend
+        )
 
 
 def count_directed(graph: DiGraph, pattern: DiPattern, *, backend=None, **kwargs) -> int:

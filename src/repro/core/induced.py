@@ -258,20 +258,23 @@ def induced_count(
     """Count vertex-induced embeddings of ``pattern`` in ``graph``.
 
     ``method="engine"`` plans with the normal GraphPi pipeline and runs
-    the anti-edge-filtering engine (through the backend registry);
-    ``method="moebius"`` combines edge-induced counts of the supergraph
-    lattice (can exploit IEP — and each term's edge-induced count runs
-    on the requested backend, compiled by default).
+    the anti-edge-filtering engine (through the unified session facade,
+    so plans are cached per graph and ``backend=`` picks any registered
+    backend); ``method="moebius"`` combines edge-induced counts of the
+    supergraph lattice (can exploit IEP — and each term's edge-induced
+    count runs on the requested backend, compiled by default).
     Both are tested to agree.
     """
     if pattern.n_vertices > 1 and not pattern.is_connected():
         raise ValueError("induced matching requires a connected pattern")
     if method == "engine":
-        from repro.core.api import PatternMatcher
+        from repro.core.query import MatchQuery
+        from repro.core.session import get_session
 
-        matcher = PatternMatcher(pattern, use_codegen=False, **matcher_kwargs)
-        report = matcher.plan(graph, use_iep=False, codegen=False)
-        return induced_count_engine(graph, report.chosen.config, backend=backend)
+        query = MatchQuery(
+            pattern=pattern, semantics="induced", use_codegen=False, **matcher_kwargs
+        )
+        return get_session(graph).count(query, backend=backend).count
     if method == "moebius":
         if backend is None:
             return induced_count_via_moebius(graph, pattern)

@@ -158,11 +158,36 @@ class LabeledMatcher:
         if not lpattern.pattern.is_connected():
             raise ValueError("pattern must be connected")
         self.lpattern = lpattern
-        self._rsets = labeled_restriction_sets(lpattern, max_sets=max_restriction_sets)
-        self._schedules = generate_schedules(lpattern.pattern)
+        self.max_restriction_sets = max_restriction_sets
+        # Lazy: count()/match() route through the session layer, whose
+        # planner builds its own matcher — eager generation here would
+        # run Algorithm 1 twice per cold call.
+        self._rset_cache: list[RestrictionSet] | None = None
+        self._schedule_cache: list | None = None
 
-    def plan(self, lgraph: LabeledGraph, *, use_iep: bool = False) -> LabeledPlanReport:
-        stats = GraphStats.of(lgraph.graph)
+    @property
+    def _rsets(self) -> list[RestrictionSet]:
+        if self._rset_cache is None:
+            self._rset_cache = labeled_restriction_sets(
+                self.lpattern, max_sets=self.max_restriction_sets
+            )
+        return self._rset_cache
+
+    @property
+    def _schedules(self) -> list:
+        if self._schedule_cache is None:
+            self._schedule_cache = generate_schedules(self.lpattern.pattern)
+        return self._schedule_cache
+
+    def plan(
+        self,
+        lgraph: LabeledGraph,
+        *,
+        use_iep: bool = False,
+        stats: GraphStats | None = None,
+    ) -> LabeledPlanReport:
+        if stats is None:
+            stats = GraphStats.of(lgraph.graph)
         model = PerformanceModel(stats)
         hist = lgraph.label_histogram()
         n = max(1, lgraph.n_vertices)
@@ -206,35 +231,41 @@ class LabeledMatcher:
             n_schedules=len(self._schedules),
         )
 
+    def _query(self, *, use_iep: bool):
+        from repro.core.query import MatchQuery
+
+        return MatchQuery(
+            pattern=self.lpattern,
+            mode="labeled",
+            use_iep=use_iep,
+            max_restriction_sets=self.max_restriction_sets,
+        )
+
     def count(self, lgraph: LabeledGraph, *, use_iep: bool = False, backend=None) -> int:
-        """Count labeled embeddings through the backend registry.
+        """Count labeled embeddings through the unified session facade.
 
         Label filtering lives in the interpreter engine family, so the
         compiled-first default resolves to the interpreter;
         ``backend="parallel"`` fans prefix tasks out to workers (which
-        rebuild the labeled engine via the registry).
+        rebuild the labeled engine via the registry).  Plans are cached
+        on the graph's shared session, so repeat calls skip planning.
         """
-        from repro.core.backend import MatchContext, select_backend
+        from repro.core.session import get_session
 
-        report = self.plan(lgraph, use_iep=use_iep)
-        ctx = MatchContext(
-            graph=lgraph, plan=report.plan, mode="labeled", lpattern=self.lpattern
-        )
-        return select_backend(ctx, backend).count(ctx)
+        return get_session(lgraph).count(
+            self._query(use_iep=use_iep), backend=backend
+        ).count
 
     def match(self, lgraph: LabeledGraph, *, limit: int | None = None, backend=None):
-        from repro.core.backend import MatchContext, select_backend
+        from repro.core.session import get_session
 
-        report = self.plan(lgraph)
-        ctx = MatchContext(
-            graph=lgraph, plan=report.plan, mode="labeled", lpattern=self.lpattern
+        return get_session(lgraph).enumerate(
+            self._query(use_iep=False), limit=limit, backend=backend
         )
-        chosen = select_backend(ctx, backend, for_enumeration=True)
-        return chosen.enumerate_embeddings(ctx, limit=limit)
 
 
 def labeled_count(lgraph: LabeledGraph, lpattern: LabeledPattern, *, backend=None) -> int:
-    """One-shot labeled counting."""
+    """One-shot labeled counting (through the shared session's plan cache)."""
     return LabeledMatcher(lpattern).count(lgraph, backend=backend)
 
 

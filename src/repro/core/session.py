@@ -1,0 +1,635 @@
+"""The graph-bound session layer: plan once, execute many.
+
+Table III of the paper measures what preprocessing costs — Algorithm 1
+restriction generation, 2-phase schedule enumeration, performance-model
+ranking and code generation all run *before* the first data vertex is
+touched.  A production service answering many pattern queries against
+the same graph must not pay that price per request, so this module
+binds the whole pipeline to a graph:
+
+* :class:`MatchSession` — owns one data graph (plain
+  :class:`~repro.graph.csr.Graph`,
+  :class:`~repro.graph.labeled.LabeledGraph` or
+  :class:`~repro.graph.digraph.DiGraph`) and a **plan cache** keyed by
+  ``(query fingerprint, graph stats signature)``.  ``count(query)``,
+  ``enumerate(query, limit=)`` and ``count_many([queries])`` plan on
+  first sight of a fingerprint and replay the compiled plan on every
+  repeat — preprocessing is amortised to zero on cache hits.
+* :func:`plan_plain` — the plain-mode preprocessing pipeline (restriction
+  sets → schedules → configurations → model ranking → codegen), the
+  function :class:`repro.core.api.PatternMatcher` now shims over.
+* :func:`get_session` — a per-process registry handing out one session
+  per live graph object, so one-shot helpers (``count_pattern``,
+  ``motif_census``, the CLI) share plans without threading a session
+  through every signature.
+
+Cache key and invalidation
+--------------------------
+The cache key is ``(MatchQuery.fingerprint, stats_signature)``.  The
+stats signature is derived from the graph's structural statistics
+(|V|, |E|, triangle count, max degree — exactly what the §IV-C
+performance model consumes — plus the label array digest for labeled
+graphs and the arc count for digraphs).  It is computed **once per
+session**, which is sound because every graph type in this repository
+is immutable; a session offers no invalidation hooks for in-place
+mutation (don't mutate CSR arrays behind a session's back).  Updated
+data arrives as a *new* graph object (e.g. a
+:class:`~repro.graph.dynamic.DynamicGraph` snapshot), which gets its
+own session — and because the signature participates in every key,
+entries from different graphs can never collide even if plan caches
+are merged or shared externally.  ``clear_cache()`` drops all entries
+explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator, NamedTuple
+
+from repro.core.backend import (
+    ExecutionBackend,
+    MatchContext,
+    get_backend,
+    select_backend,
+)
+from repro.core.codegen import GeneratedCounter, compile_plan_function
+from repro.core.config import ExecutionPlan, enumerate_configurations
+from repro.core.perf_model import PerformanceModel, RankedConfiguration
+from repro.core.query import MatchQuery, MatchResult, as_query
+from repro.core.restrictions import RestrictionSet, generate_restriction_sets
+from repro.core.schedule import generate_schedules, independent_suffix_size
+from repro.graph.csr import Graph
+from repro.graph.digraph import DiGraph
+from repro.graph.labeled import LabeledGraph
+from repro.graph.stats import GraphStats
+from repro.pattern.pattern import Pattern
+from repro.utils.timing import Timer
+
+
+# ---------------------------------------------------------------------------
+# the plain-mode preprocessing pipeline (moved here from core.api)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanReport:
+    """Everything preprocessing produced, plus wall-clock timings."""
+
+    pattern: Pattern
+    stats: GraphStats
+    restriction_sets: tuple[RestrictionSet, ...]
+    n_schedules: int
+    ranking: tuple[RankedConfiguration, ...]
+    chosen: RankedConfiguration
+    generated: GeneratedCounter | None
+    seconds_restrictions: float
+    seconds_schedules: float
+    seconds_model: float
+    seconds_codegen: float
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.chosen.plan
+
+    @property
+    def seconds_total(self) -> float:
+        return (
+            self.seconds_restrictions
+            + self.seconds_schedules
+            + self.seconds_model
+            + self.seconds_codegen
+        )
+
+    def describe(self) -> str:
+        c = self.chosen
+        return (
+            f"pattern={self.pattern.name or self.pattern!r} "
+            f"{len(self.restriction_sets)} restriction sets x "
+            f"{self.n_schedules} schedules -> {len(self.ranking)} configurations; "
+            f"chose {c.config.describe()} (predicted cost {c.predicted_cost:.3g}); "
+            f"preprocessing {self.seconds_total * 1e3:.1f} ms"
+        )
+
+
+def plan_plain(
+    pattern: Pattern,
+    stats: GraphStats,
+    *,
+    use_iep: bool = False,
+    max_restriction_sets: int | None = 64,
+    dedup_schedules: bool = True,
+    codegen: bool = True,
+    restriction_sets: list[RestrictionSet] | None = None,
+    schedules: list | None = None,
+) -> PlanReport:
+    """Run the full plain-mode preprocessing pipeline and pick a plan.
+
+    ``restriction_sets``/``schedules`` accept precomputed inputs (the
+    ``PatternMatcher`` per-pattern caches); otherwise both are generated
+    here.  ``use_iep`` asks the model to score configurations with the
+    innermost independent loops replaced by IEP.
+    """
+    with Timer() as t_res:
+        if restriction_sets is None:
+            restriction_sets = generate_restriction_sets(
+                pattern, max_sets=max_restriction_sets
+            )
+    with Timer() as t_sched:
+        if schedules is None:
+            schedules = generate_schedules(
+                pattern, dedup_automorphic=dedup_schedules
+            )
+    with Timer() as t_model:
+        configs = enumerate_configurations(pattern, schedules, restriction_sets)
+        model = PerformanceModel(stats)
+        iep_k = independent_suffix_size(pattern) if use_iep else 0
+        ranking = model.rank(configs, iep_k=iep_k)
+    chosen = ranking[0]
+    generated = None
+    with Timer() as t_gen:
+        if codegen:
+            generated = compile_plan_function(chosen.plan)
+    return PlanReport(
+        pattern=pattern,
+        stats=stats,
+        restriction_sets=tuple(restriction_sets),
+        n_schedules=len(schedules),
+        ranking=tuple(ranking),
+        chosen=chosen,
+        generated=generated,
+        seconds_restrictions=t_res.elapsed,
+        seconds_schedules=t_sched.elapsed,
+        seconds_model=t_model.elapsed,
+        seconds_codegen=t_gen.elapsed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cached plans
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanEntry:
+    """One cached, executable plan: everything needed to build a context.
+
+    ``report`` keeps the mode-specific plan report (a :class:`PlanReport`,
+    :class:`~repro.core.labeled.LabeledPlanReport` or
+    :class:`~repro.core.directed.DirectedPlanReport`) for provenance and
+    introspection — including, for plain plans, the full configuration
+    ranking that ``PatternMatcher.plan`` exposes.  Retention is bounded:
+    at most ``MatchSession.max_plans`` entries per session (LRU) and at
+    most :func:`session_cache_size` registry sessions process-wide.
+    ``seconds_plan`` records what the cold planning cost — the time a
+    cache hit saves.
+    """
+
+    key: tuple
+    mode: str
+    semantics: str
+    plan: Any
+    generated: GeneratedCounter | None
+    lpattern: Any
+    provenance: str
+    predicted_cost: float
+    seconds_plan: float
+    report: Any
+
+    def context(self, graph: Any) -> MatchContext:
+        ctx_mode = "induced" if self.semantics == "induced" else self.mode
+        return MatchContext(
+            graph=graph,
+            plan=self.plan,
+            mode=ctx_mode,
+            lpattern=self.lpattern,
+            generated=self.generated,
+        )
+
+
+class CacheInfo(NamedTuple):
+    """Plan-cache counters (in the spirit of ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+def stats_signature(graph: Any, stats: GraphStats) -> tuple:
+    """The graph half of the plan-cache key.
+
+    Built from the structural statistics the §IV-C performance model
+    consumes — the quantities that, when unchanged, make a cached plan
+    exactly the plan the pipeline would re-derive — plus the
+    kind-specific extras (label digest, arc count) that distinguish
+    graphs the base stats cannot.
+    """
+    base = (stats.n_vertices, stats.n_edges, stats.triangles, stats.max_degree)
+    if isinstance(graph, LabeledGraph):
+        import hashlib
+
+        digest = hashlib.sha1(graph.labels.tobytes()).hexdigest()[:16]
+        return ("labeled",) + base + (digest,)
+    if isinstance(graph, DiGraph):
+        return ("digraph",) + base + (graph.n_arcs,)
+    return ("graph",) + base
+
+
+def resolve_execution_backend(
+    ctx: MatchContext,
+    requested: "str | ExecutionBackend | None",
+    *,
+    use_codegen: bool = True,
+    for_enumeration: bool = False,
+) -> ExecutionBackend:
+    """The one backend-selection policy (shared by session and shims).
+
+    With no explicit request and ``use_codegen=False`` on a context that
+    carries no pre-generated kernel, default to the interpreter rather
+    than compiling behind the caller's back; otherwise apply the
+    registry's compiled-first :func:`~repro.core.backend.select_backend`.
+    """
+    if requested is None and not use_codegen and ctx.generated is None:
+        return get_backend("interpreter")
+    return select_backend(ctx, requested, for_enumeration=for_enumeration)
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+class MatchSession:
+    """A data graph plus a plan cache: the unified query surface.
+
+    Parameters
+    ----------
+    graph:
+        The bound data graph.  A plain :class:`~repro.graph.csr.Graph`
+        serves plain and induced queries; a
+        :class:`~repro.graph.labeled.LabeledGraph` additionally serves
+        labeled queries (plain/induced queries run on its underlying
+        structure); a :class:`~repro.graph.digraph.DiGraph` serves
+        directed queries.
+    backend:
+        Session-default execution backend (name, instance or ``None``
+        for compiled-first).  Per-query and per-call preferences win.
+    max_plans:
+        Plan-cache capacity (LRU).  Workloads that stream *distinct*
+        queries (e.g. FSM candidate generation) would otherwise grow
+        the cache — and every retained :class:`PlanEntry` report —
+        without bound.
+
+    >>> session = MatchSession(load_dataset("wiki-vote", scale=0.2))
+    >>> session.count(MatchQuery(get_pattern("house")))      # plans
+    >>> session.count(MatchQuery(get_pattern("house")))      # cache hit
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        *,
+        backend: str | ExecutionBackend | None = None,
+        max_plans: int = 128,
+    ):
+        if not isinstance(graph, (Graph, LabeledGraph, DiGraph)):
+            raise TypeError(
+                "MatchSession needs a Graph, LabeledGraph or DiGraph, "
+                f"got {type(graph).__name__}"
+            )
+        if max_plans < 1:
+            raise ValueError("the plan cache needs capacity >= 1")
+        self.graph = graph
+        self.backend = backend
+        self.max_plans = max_plans
+        self._stats: GraphStats | None = None
+        self._signature: tuple | None = None
+        self._cache: OrderedDict[tuple, PlanEntry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- graph views ----------------------------------------------------
+    @property
+    def stats(self) -> GraphStats:
+        """Structural statistics of the bound graph (computed once)."""
+        if self._stats is None:
+            g = self.graph
+            if isinstance(g, LabeledGraph):
+                g = g.graph
+            elif isinstance(g, DiGraph):
+                g = g.to_undirected()
+            self._stats = GraphStats.of(g)
+        return self._stats
+
+    @property
+    def signature(self) -> tuple:
+        """The graph half of the plan-cache key (see :func:`stats_signature`)."""
+        if self._signature is None:
+            self._signature = stats_signature(self.graph, self.stats)
+        return self._signature
+
+    def _execution_graph(self, query: MatchQuery) -> Any:
+        """The graph object the chosen engine family actually reads."""
+        g = self.graph
+        if query.mode == "labeled":
+            if not isinstance(g, LabeledGraph):
+                raise TypeError(
+                    "labeled queries need a session over a LabeledGraph, "
+                    f"this session holds a {type(g).__name__}"
+                )
+            return g
+        if query.mode == "directed":
+            if not isinstance(g, DiGraph):
+                raise TypeError(
+                    "directed queries need a session over a DiGraph, "
+                    f"this session holds a {type(g).__name__}"
+                )
+            return g
+        if isinstance(g, DiGraph):
+            raise TypeError(
+                "plain queries cannot run on a DiGraph session; bind a "
+                "session to graph.to_undirected() instead"
+            )
+        return g.graph if isinstance(g, LabeledGraph) else g
+
+    # -- planning -------------------------------------------------------
+    def plan_for(self, query: MatchQuery | Any) -> PlanEntry:
+        """The cached plan for a query, planning on first sight."""
+        query = as_query(query)
+        self._execution_graph(query)  # validate mode/graph pairing early
+        return self._lookup_or_plan(query)[0]
+
+    def _lookup_or_plan(self, query: MatchQuery) -> tuple[PlanEntry, bool]:
+        """(entry, was cache hit) — the one key computation per call."""
+        key = (query.fingerprint, self.signature)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return entry, True
+        with Timer() as t:
+            entry = self._plan(query, key)
+        entry = dataclasses.replace(entry, seconds_plan=t.elapsed)
+        self._misses += 1
+        self._cache[key] = entry
+        while len(self._cache) > self.max_plans:
+            self._cache.popitem(last=False)
+        return entry, False
+
+    def _plan(self, query: MatchQuery, key: tuple) -> PlanEntry:
+        if query.mode == "plain":
+            return self._plan_plain(query, key)
+        if query.mode == "labeled":
+            return self._plan_labeled(query, key)
+        return self._plan_directed(query, key)
+
+    def _plan_plain(self, query: MatchQuery, key: tuple) -> PlanEntry:
+        induced = query.semantics == "induced"
+        # Codegen only covers plain edge-semantics plans; skip the wasted
+        # generation for induced entries (the interpreter family runs them).
+        report = plan_plain(
+            query.pattern,
+            self.stats,
+            use_iep=query.resolved_use_iep,
+            max_restriction_sets=query.max_restriction_sets,
+            dedup_schedules=query.dedup_schedules,
+            codegen=query.use_codegen and not induced,
+        )
+        return PlanEntry(
+            key=key,
+            mode="plain",
+            semantics=query.semantics,
+            plan=report.plan,
+            generated=report.generated,
+            lpattern=None,
+            provenance=report.chosen.config.describe(),
+            predicted_cost=report.chosen.predicted_cost,
+            seconds_plan=0.0,
+            report=report,
+        )
+
+    def _plan_labeled(self, query: MatchQuery, key: tuple) -> PlanEntry:
+        from repro.core.labeled import LabeledMatcher
+
+        matcher = LabeledMatcher(
+            query.pattern, max_restriction_sets=query.max_restriction_sets
+        )
+        report = matcher.plan(
+            self.graph, use_iep=query.resolved_use_iep, stats=self.stats
+        )
+        return PlanEntry(
+            key=key,
+            mode="labeled",
+            semantics=query.semantics,
+            plan=report.plan,
+            generated=None,
+            lpattern=query.pattern,
+            provenance=report.configuration.describe(),
+            predicted_cost=report.predicted_cost,
+            seconds_plan=0.0,
+            report=report,
+        )
+
+    def _plan_directed(self, query: MatchQuery, key: tuple) -> PlanEntry:
+        from repro.core.directed import DirectedMatcher
+
+        matcher = DirectedMatcher(
+            query.pattern, max_restriction_sets=query.max_restriction_sets
+        )
+        report = matcher.plan(
+            self.graph, use_iep=query.resolved_use_iep, stats=self.stats
+        )
+        return PlanEntry(
+            key=key,
+            mode="directed",
+            semantics=query.semantics,
+            plan=report.plan,
+            generated=None,
+            lpattern=None,
+            provenance=(
+                f"schedule={report.chosen_schedule} "
+                f"restrictions={sorted(report.chosen_restrictions)}"
+            ),
+            predicted_cost=report.predicted_cost,
+            seconds_plan=0.0,
+            report=report,
+        )
+
+    # -- execution ------------------------------------------------------
+    def _select(
+        self,
+        ctx: MatchContext,
+        query: MatchQuery,
+        backend: str | ExecutionBackend | None,
+        *,
+        for_enumeration: bool = False,
+    ) -> ExecutionBackend:
+        requested = backend if backend is not None else query.backend
+        if requested is None:
+            requested = self.backend
+        return resolve_execution_backend(
+            ctx,
+            requested,
+            use_codegen=query.use_codegen,
+            for_enumeration=for_enumeration,
+        )
+
+    def _ensure_kernel(self, entry: PlanEntry, chosen: ExecutionBackend,
+                       ctx: MatchContext) -> MatchContext:
+        """Memoise a kernel compiled at execution time onto the entry.
+
+        An entry planned without codegen (``use_codegen=False``) but
+        executed with an explicit ``backend="compiled"`` would otherwise
+        re-generate the kernel on every cache-hit call — exactly the
+        cost the cache exists to amortise.
+        """
+        if (
+            chosen.name == "compiled"
+            and ctx.generated is None
+            and isinstance(entry.plan, ExecutionPlan)
+            and chosen.supports(ctx)
+        ):
+            generated = compile_plan_function(entry.plan)
+            updated = dataclasses.replace(entry, generated=generated)
+            if entry.key in self._cache:
+                self._cache[entry.key] = updated
+            return dataclasses.replace(ctx, generated=generated)
+        return ctx
+
+    def count(
+        self,
+        query: MatchQuery | Any,
+        *,
+        backend: str | ExecutionBackend | None = None,
+    ) -> MatchResult:
+        """Count embeddings of ``query`` (a :class:`MatchQuery` or bare
+        pattern) in the bound graph, reusing the cached plan when one
+        exists.  ``backend`` overrides the query's and the session's
+        preference for this call only.
+        """
+        query = as_query(query)
+        graph = self._execution_graph(query)
+        entry, was_hit = self._lookup_or_plan(query)
+        ctx = entry.context(graph)
+        chosen = self._select(ctx, query, backend)
+        ctx = self._ensure_kernel(entry, chosen, ctx)
+        with Timer() as t_exec:
+            n = chosen.count(ctx)
+        return MatchResult(
+            count=n,
+            backend=chosen.name,
+            mode=query.mode,
+            semantics=query.semantics,
+            cache_hit=was_hit,
+            seconds_plan=0.0 if was_hit else entry.seconds_plan,
+            seconds_execute=t_exec.elapsed,
+            provenance=entry.provenance,
+            fingerprint=entry.key[0],
+        )
+
+    def enumerate(
+        self,
+        query: MatchQuery | Any,
+        *,
+        limit: int | None = None,
+        backend: str | ExecutionBackend | None = None,
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield embeddings as tuples indexed by pattern vertex.
+
+        Enumeration needs explicit inner loops, so the query's
+        IEP-free variant is planned (and cached under its own
+        fingerprint); counting-only backends fall back to the
+        interpreter automatically.
+        """
+        query = as_query(query).for_enumeration()
+        graph = self._execution_graph(query)
+        entry, _ = self._lookup_or_plan(query)
+        ctx = entry.context(graph)
+        chosen = self._select(ctx, query, backend, for_enumeration=True)
+        return chosen.enumerate_embeddings(ctx, limit=limit)
+
+    def count_many(
+        self,
+        queries,
+        *,
+        backend: str | ExecutionBackend | None = None,
+    ) -> list[MatchResult]:
+        """Count a batch of queries (plans shared through the cache).
+
+        The batch entry point for repeated-query workloads: a motif
+        census, a significance ensemble, a service draining a request
+        queue.  Results are returned in input order.
+        """
+        return [self.count(q, backend=backend) for q in queries]
+
+    # -- cache management ----------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.cache_info()
+        return (
+            f"MatchSession({self.graph!r}, plans={info.size}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the per-process session registry
+# ---------------------------------------------------------------------------
+#: id(graph) -> its session, LRU-ordered.  A registered session holds
+#: its graph alive, so the registry is bounded: the least recently used
+#: entry is evicted once the cap is exceeded (a registry entry that
+#: pinned every transient graph — e.g. a significance ensemble — would
+#: otherwise grow without bound).
+_SESSIONS: OrderedDict[int, MatchSession] = OrderedDict()
+_MAX_SESSIONS = 8
+
+
+def get_session(graph: Any) -> MatchSession:
+    """One shared :class:`MatchSession` per (recently used) graph object.
+
+    One-shot helpers (``count_pattern``, ``clique_count``, the CLI, the
+    mining workloads) route through this registry so that *any* repeated
+    query against the same graph object hits the plan cache — no session
+    object needs to travel through their signatures.  At most
+    :func:`session_cache_size` sessions are retained (LRU); evicted or
+    unregistered graphs simply get a fresh session next time.
+
+    Note the retention trade-off: a registered session keeps its graph
+    alive until displaced, so a one-shot count on a huge transient graph
+    pins it temporarily.  For tight memory budgets, shrink the registry
+    (:func:`set_session_cache_size`), call :func:`clear_sessions`, or
+    construct a private :class:`MatchSession` whose lifetime you control.
+    """
+    key = id(graph)
+    session = _SESSIONS.get(key)
+    if session is not None and session.graph is graph:
+        _SESSIONS.move_to_end(key)
+        return session
+    session = MatchSession(graph)
+    _SESSIONS[key] = session
+    _SESSIONS.move_to_end(key)
+    while len(_SESSIONS) > _MAX_SESSIONS:
+        _SESSIONS.popitem(last=False)
+    return session
+
+
+def session_cache_size() -> int:
+    """The registry's LRU capacity."""
+    return _MAX_SESSIONS
+
+
+def set_session_cache_size(n: int) -> None:
+    """Resize the registry (shrinking evicts least recently used now)."""
+    global _MAX_SESSIONS
+    if n < 1:
+        raise ValueError("the session registry needs capacity >= 1")
+    _MAX_SESSIONS = n
+    while len(_SESSIONS) > _MAX_SESSIONS:
+        _SESSIONS.popitem(last=False)
+
+
+def clear_sessions() -> None:
+    """Drop every registered session (test isolation / memory pressure)."""
+    _SESSIONS.clear()

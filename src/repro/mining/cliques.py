@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.api import PatternMatcher
+from repro.core.query import MatchQuery
+from repro.core.session import get_session
 from repro.graph.csr import Graph
 from repro.graph.intersection import bounded_slice, intersect
 from repro.pattern.catalog import clique
@@ -26,13 +27,16 @@ def clique_count(graph: Graph, k: int, *, use_iep: bool = True, backend=None) ->
 
     ``backend`` picks the execution backend from the registry
     (compiled-first by default; ``"parallel"`` fans the ordered
-    enumeration out over worker processes).
+    enumeration out over worker processes).  Queries go through the
+    graph's shared session, so repeated clique counts replay the
+    cached plan.
     """
     if k < 2:
         raise ValueError("cliques need k >= 2")
     if k == 2:
         return graph.n_edges
-    return PatternMatcher(clique(k), backend=backend).count(graph, use_iep=use_iep)
+    query = MatchQuery(pattern=clique(k), use_iep=use_iep)
+    return get_session(graph).count(query, backend=backend).count
 
 
 def clique_count_ordered(graph: Graph, k: int) -> int:

@@ -25,8 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import permutations
 
-from repro.core.backend import MatchContext, make_engine
-from repro.core.labeled import LabeledMatcher
+from repro.core.query import MatchQuery
+from repro.core.session import MatchSession, get_session
 from repro.graph.labeled import LabeledGraph
 from repro.pattern.labeled import LabeledPattern, labeled_automorphisms
 from repro.pattern.pattern import Pattern
@@ -56,25 +56,27 @@ def labeled_canonical_form(lp: LabeledPattern) -> tuple:
     return (n,) + best
 
 
-def mni_support(lgraph: LabeledGraph, lp: LabeledPattern) -> int:
+def mni_support(
+    lgraph: LabeledGraph, lp: LabeledPattern, *, session: MatchSession | None = None
+) -> int:
     """Minimum node image support of ``lp`` in ``lgraph``.
 
-    Enumerates distinct embeddings with the labeled matcher, then closes
-    each vertex-role domain under the labeled automorphism group (the
-    matcher yields one representative per orbit; the other orbit members
-    place different data vertices in the same role).
+    Enumerates distinct embeddings through the unified session facade
+    (``session`` defaults to the graph's shared one, so FSM's many
+    support queries reuse cached plans), then closes each vertex-role
+    domain under the labeled automorphism group (the matcher yields one
+    representative per orbit; the other orbit members place different
+    data vertices in the same role).
     """
     n = lp.n_vertices
     if n == 1:
         return int(len(lgraph.vertices_with_label(lp.labels[0])))
-    matcher = LabeledMatcher(lp)
-    report = matcher.plan(lgraph)
-    engine = make_engine(
-        MatchContext(graph=lgraph, plan=report.plan, mode="labeled", lpattern=lp)
-    )
+    if session is not None and session.graph is not lgraph:
+        raise ValueError("session is bound to a different graph object")
+    session = session or get_session(lgraph)
     auts = labeled_automorphisms(lp)
     domains: list[set[int]] = [set() for _ in range(n)]
-    for emb in engine.enumerate_embeddings():
+    for emb in session.enumerate(MatchQuery(pattern=lp)):
         for sigma in auts:
             for v in range(n):
                 domains[v].add(emb[sigma[v]])
@@ -147,6 +149,7 @@ def frequent_subgraphs(
     if max_vertices < 1:
         raise ValueError("max_vertices must be >= 1")
 
+    session = get_session(lgraph)
     hist = lgraph.label_histogram()
     frequent_labels = sorted(l for l, c in hist.items() if c >= min_support)
     results: list[FrequentPattern] = []
@@ -169,7 +172,7 @@ def frequent_subgraphs(
                 if key in seen:
                     continue
                 seen.add(key)
-                support = mni_support(lgraph, cand)
+                support = mni_support(lgraph, cand, session=session)
                 if support >= min_support:
                     next_level.append(FrequentPattern(cand, support))
         # a level mixes sizes (backward extensions stay at the same

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.api import PatternMatcher
+from repro.core.query import MatchQuery
+from repro.core.session import MatchSession, get_session
 from repro.graph.csr import Graph
 from repro.pattern.isomorphism import canonical_form, connected_patterns
 from repro.pattern.pattern import Pattern
@@ -27,7 +28,8 @@ class MotifCount:
 
 
 def motif_census(
-    graph: Graph, k: int, *, use_iep: bool = True, backend=None
+    graph: Graph, k: int, *, use_iep: bool = True, backend=None,
+    session: MatchSession | None = None,
 ) -> list[MotifCount]:
     """Count every connected k-vertex motif in ``graph``.
 
@@ -35,14 +37,25 @@ def motif_census(
     across runs).  k ≤ 5 keeps the pattern set small (3, 6, 21 motifs
     for k = 3, 4, 5).  ``backend`` selects the execution backend for
     every per-pattern count (default: compiled-first).
+
+    The census is a batch of :class:`~repro.core.query.MatchQuery`
+    objects against one :class:`~repro.core.session.MatchSession`
+    (``session`` defaults to the graph's shared one), so re-running a
+    census — or mixing it with other workloads on the same graph —
+    reuses every cached plan instead of re-planning per call.
     """
     if k < 3:
         raise ValueError("motif census is defined for k >= 3")
-    results: list[MotifCount] = []
-    for pattern in connected_patterns(k):
-        matcher = PatternMatcher(pattern, backend=backend)
-        results.append(MotifCount(pattern, matcher.count(graph, use_iep=use_iep)))
-    return results
+    if session is not None and session.graph is not graph:
+        raise ValueError("session is bound to a different graph object")
+    session = session or get_session(graph)
+    queries = [
+        MatchQuery(pattern=p, use_iep=use_iep) for p in connected_patterns(k)
+    ]
+    results = session.count_many(queries, backend=backend)
+    return [
+        MotifCount(q.pattern, r.count) for q, r in zip(queries, results)
+    ]
 
 
 def motif_frequencies(
@@ -56,18 +69,21 @@ def motif_frequencies(
     return {m.pattern.name: m.count / total for m in census}
 
 
-def induced_motif_census(graph: Graph, k: int, *, backend=None) -> list[MotifCount]:
+def induced_motif_census(
+    graph: Graph, k: int, *, backend=None, session: MatchSession | None = None
+) -> list[MotifCount]:
     """Count every connected k-vertex motif under *vertex-induced*
     semantics (the AutoMine/GraphZero definition, §V-A).
 
-    Computed the cheap way: one edge-induced census (IEP-accelerated),
-    then a single triangular Möbius inversion over the supergraph
-    lattice — no induced enumeration at all.  The diagonal of the
-    lattice is the k-clique, whose counts coincide under both semantics.
+    Computed the cheap way: one edge-induced census (IEP-accelerated,
+    plan-cached through the shared session), then a single triangular
+    Möbius inversion over the supergraph lattice — no induced
+    enumeration at all.  The diagonal of the lattice is the k-clique,
+    whose counts coincide under both semantics.
     """
     from repro.core.induced import supergraph_decomposition
 
-    census = motif_census(graph, k, use_iep=True, backend=backend)
+    census = motif_census(graph, k, use_iep=True, backend=backend, session=session)
     noninduced = {canonical_form(m.pattern): m.count for m in census}
     induced: dict[tuple[int, int], int] = {}
     # Densest-first back-substitution (same recurrence as

@@ -152,13 +152,17 @@ class MotifZScore:
 
 
 def _count(graph, pattern, backend=None) -> int:
-    if isinstance(pattern, DiPattern):
-        from repro.core.directed import count_directed
+    """One pattern count through the unified session facade.
 
-        return count_directed(graph, pattern, backend=backend)
-    from repro.core.api import count_pattern
+    :class:`~repro.core.query.MatchQuery` infers the mode from the
+    pattern type (directed vs plain), and the graph's shared session
+    caches the plan — counting the same pattern on the observed graph
+    and on each ensemble member plans exactly once per graph.
+    """
+    from repro.core.query import MatchQuery
+    from repro.core.session import get_session
 
-    return count_pattern(graph, pattern, backend=backend)
+    return get_session(graph).count(MatchQuery(pattern=pattern), backend=backend).count
 
 
 def motif_significance(

@@ -203,3 +203,38 @@ def directed_clique(n: int) -> DiPattern:
     """The complete digraph (all antiparallel pairs): |Aut| = n!."""
     arcs = [(u, v) for u in range(n) for v in range(n) if u != v]
     return DiPattern(n, arcs, name=f"diclique-{n}")
+
+
+#: directed pattern names resolvable by :func:`get_directed_pattern`
+#: (the directed analogue of ``repro.pattern.catalog.NAMED_PATTERNS``).
+NAMED_DIPATTERNS = {
+    "feedforward-loop": feedforward_loop,
+    "ffl": feedforward_loop,
+    "bifan": bi_fan,
+    "transitive-triangle": transitive_triangle,
+}
+
+
+def get_directed_pattern(name: str) -> DiPattern:
+    """Resolve a directed pattern by name.
+
+    Named forms come from :data:`NAMED_DIPATTERNS`; parametric forms are
+    ``dcycle-N``, ``dpath-N``, ``outstar-N`` and ``dclique-N``.  The CLI
+    (``repro count --mode directed``) and API users share this resolver.
+    """
+    import re
+
+    if name in NAMED_DIPATTERNS:
+        return NAMED_DIPATTERNS[name]()
+    m = re.fullmatch(r"(dcycle|dpath|outstar|dclique)-(\d+)", name)
+    if m:
+        maker = {
+            "dcycle": directed_cycle,
+            "dpath": directed_path,
+            "outstar": out_star,
+            "dclique": directed_clique,
+        }[m.group(1)]
+        return maker(int(m.group(2)))
+    choices = sorted(NAMED_DIPATTERNS) + ["dcycle-N", "dpath-N", "outstar-N",
+                                          "dclique-N"]
+    raise ValueError(f"unknown directed pattern {name!r}; choose from {choices}")

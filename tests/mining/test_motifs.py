@@ -10,6 +10,12 @@ from repro.pattern.isomorphism import are_isomorphic, connected_patterns
 
 
 class TestCensus:
+    def test_rejects_session_for_other_graph(self, er_small, er_medium):
+        from repro.core.session import get_session
+
+        with pytest.raises(ValueError, match="different graph"):
+            motif_census(er_small, 3, session=get_session(er_medium))
+
     def test_3motifs_on_k4(self):
         census = motif_census(complete_graph(4), 3)
         # Wedges (path-3): 12; triangles: 4.

@@ -157,3 +157,25 @@ class TestCatalog:
 
     def test_directed_clique_arc_count(self):
         assert directed_clique(4).n_arcs == 12
+
+
+class TestDirectedPatternResolver:
+    def test_named_and_parametric_forms(self):
+        from repro.pattern.directed import (
+            bi_fan,
+            directed_cycle,
+            feedforward_loop,
+            get_directed_pattern,
+        )
+
+        assert get_directed_pattern("ffl") == feedforward_loop()
+        assert get_directed_pattern("bifan") == bi_fan()
+        assert get_directed_pattern("dcycle-4") == directed_cycle(4)
+
+    def test_unknown_name_raises(self):
+        import pytest
+
+        from repro.pattern.directed import get_directed_pattern
+
+        with pytest.raises(ValueError, match="unknown directed pattern"):
+            get_directed_pattern("house")

@@ -105,6 +105,83 @@ class TestNewFlags:
         assert "vertex-induced" in out
 
 
+class TestModeFlags:
+    ARGS = ["--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3"]
+
+    def test_semantics_induced_spelling(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--semantics", "induced",
+                   *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vertex-induced" in out and "count:" in out
+
+    def test_mode_labeled_matches_api(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--mode", "labeled",
+                   "--labels", "2", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        shown = int(out.split("count:")[1].split()[0])
+
+        from repro.core.labeled import labeled_count
+        from repro.graph.datasets import load_dataset
+        from repro.graph.labeled import assign_random_labels
+        from repro.pattern.catalog import triangle
+        from repro.pattern.labeled import LabeledPattern
+
+        g = load_dataset("wiki-vote", scale=0.05, seed=3)
+        lg = assign_random_labels(g, 2, seed=3)
+        lp = LabeledPattern(triangle(), (0, 1, 0))
+        assert shown == labeled_count(lg, lp)
+
+    def test_mode_directed_matches_api(self, capsys):
+        rc = main(["count", "--pattern", "ffl", "--mode", "directed", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        shown = int(out.split("count:")[1].split()[0])
+
+        from repro.core.directed import count_directed
+        from repro.graph.datasets import load_dataset
+        from repro.graph.digraph import digraph_from_edges
+        from repro.pattern.directed import feedforward_loop
+
+        g = load_dataset("wiki-vote", scale=0.05, seed=3)
+        dig = digraph_from_edges(list(g.edges()), n_vertices=g.n_vertices)
+        assert shown == count_directed(dig, feedforward_loop())
+
+    def test_mode_directed_parametric_pattern(self, capsys):
+        rc = main(["count", "--pattern", "dcycle-3", "--mode", "directed",
+                   *self.ARGS])
+        assert rc == 0
+        assert "count:" in capsys.readouterr().out
+
+    def test_directed_rejects_undirected_pattern_name(self, capsys):
+        rc = main(["count", "--pattern", "house", "--mode", "directed",
+                   *self.ARGS])
+        assert rc == 2
+        assert "unknown directed pattern" in capsys.readouterr().err
+
+    def test_labeled_rejects_nonpositive_labels(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--mode", "labeled",
+                   "--labels", "0", *self.ARGS])
+        assert rc == 2
+        assert "--labels" in capsys.readouterr().err
+
+    def test_induced_semantics_rejected_for_directed(self, capsys):
+        rc = main(["count", "--pattern", "ffl", "--mode", "directed",
+                   "--semantics", "induced", *self.ARGS])
+        assert rc == 2
+
+    def test_approx_rejects_induced_semantics(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--semantics", "induced",
+                   "--approx", "50", *self.ARGS])
+        assert rc == 2
+
+    def test_motifs_reports_plan_cache(self, capsys):
+        rc = main(["motifs", "--k", "3", *self.ARGS])
+        assert rc == 0
+        assert "plan cache:" in capsys.readouterr().out
+
+
 class TestBackendFlags:
     def test_backends_command(self, capsys):
         assert main(["backends"]) == 0
