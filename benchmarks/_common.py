@@ -9,6 +9,8 @@ bench states the scale it used.  EXPERIMENTS.md records paper-vs-measured.
 from __future__ import annotations
 
 import json
+import math
+import os
 import time
 from pathlib import Path
 
@@ -16,6 +18,15 @@ from repro.graph.datasets import load_dataset
 from repro.utils.tables import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: CI smoke mode: REPRO_BENCH_QUICK=1 shrinks every bench to a small
+#: graph and a reduced workload (1 repetition) so the whole benchmark
+#: smoke job finishes in seconds while still asserting cross-backend
+#: count agreement.  Individual benches also trim their pattern sets.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: proxy-scale multiplier applied in quick mode.
+QUICK_SCALE = 0.5
 
 #: machine-readable benchmark records (BENCH_*.json) land in the repo
 #: root so drivers/dashboards find them without knowing the layout.
@@ -35,9 +46,16 @@ BENCH_SCALES = {
 BENCH_SEED = 2020
 
 
-def bench_graph(name: str):
-    """The scaled proxy used throughout the benchmark suite."""
-    return load_dataset(name, scale=BENCH_SCALES[name], seed=BENCH_SEED)
+def bench_graph(name: str, scale: float | None = None):
+    """The scaled proxy used throughout the benchmark suite.
+
+    ``scale`` overrides the per-dataset default; quick mode
+    (:data:`QUICK`) shrinks whichever scale applies.
+    """
+    effective = BENCH_SCALES[name] if scale is None else scale
+    if QUICK:
+        effective *= QUICK_SCALE
+    return load_dataset(name, scale=effective, seed=BENCH_SEED)
 
 
 def time_call(fn, *args, **kwargs) -> tuple[float, object]:
@@ -45,6 +63,13 @@ def time_call(fn, *args, **kwargs) -> tuple[float, object]:
     t0 = time.perf_counter()
     result = fn(*args, **kwargs)
     return time.perf_counter() - t0, result
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (0.0 for an empty list) — the speedup aggregate."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def emit(table: Table, capsys, filename: str) -> None:

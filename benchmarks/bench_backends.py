@@ -17,7 +17,6 @@ pytest-benchmark like the other benches.
 
 from __future__ import annotations
 
-import math
 import os
 
 from repro.core.api import PatternMatcher
@@ -25,16 +24,17 @@ from repro.core.backend import MatchContext, get_backend
 from repro.pattern.catalog import paper_patterns
 from repro.utils.tables import Table, format_seconds, format_speedup
 
-from _common import bench_graph, emit, emit_json, time_call
+from _common import QUICK, bench_graph, emit, emit_json, geomean, time_call
 
 DATASET = "wiki-vote"
 
 #: backends measured, interpreter first (the speedup baseline).
-BACKENDS = ["interpreter", "preslice", "compiled", "parallel"]
+BACKENDS = ["interpreter", "preslice", "compiled", "parallel", "vectorised"]
 
 #: P1..P6 is the Fig. 8 grid; P5/P6 interpret slowly enough to dominate
-#: the whole suite, so the micro-bench uses the first four patterns.
-PATTERN_LIMIT = 4
+#: the whole suite, so the micro-bench uses the first four patterns
+#: (two in the CI quick/smoke mode).
+PATTERN_LIMIT = 2 if QUICK else 4
 
 
 def _backend_instance(name: str):
@@ -75,10 +75,6 @@ def run_backend_bench() -> dict:
     return {"graph": repr(graph), "dataset": DATASET, "patterns": records}
 
 
-def _geomean(values: list[float]) -> float:
-    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
-
-
 def _render(results: dict, capsys=None) -> None:
     table = Table(
         ["pattern"] + [f"{b} (s)" for b in BACKENDS]
@@ -92,13 +88,14 @@ def _render(results: dict, capsys=None) -> None:
         ]
         table.add_row(cells)
     summary = {
-        b: _geomean(
+        b: geomean(
             [row[b]["speedup_vs_interpreter"] for row in results["patterns"].values()]
         )
         for b in BACKENDS[1:]
     }
     table.add_row(
-        ["geomean", "", "", "", ""] + [format_speedup(summary[b]) for b in BACKENDS[1:]]
+        ["geomean"] + [""] * len(BACKENDS)
+        + [format_speedup(summary[b]) for b in BACKENDS[1:]]
     )
     results["geomean_speedup_vs_interpreter"] = summary
     emit(table, capsys, "bench_backends.tsv")

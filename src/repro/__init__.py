@@ -12,10 +12,12 @@ from repro.core.api import PatternMatcher, count_pattern, match_pattern, match_q
 from repro.core.query import MatchQuery, MatchResult
 from repro.core.session import MatchSession, get_session
 from repro.core.backend import (
+    BackendCapabilities,
     ExecutionBackend,
     MatchContext,
     available_backends,
     backend_names,
+    capabilities_of,
     get_backend,
     register_backend,
 )
@@ -41,10 +43,12 @@ __all__ = [
     "MatchResult",
     "MatchSession",
     "get_session",
+    "BackendCapabilities",
     "ExecutionBackend",
     "MatchContext",
     "available_backends",
     "backend_names",
+    "capabilities_of",
     "get_backend",
     "register_backend",
     "DirectedMatcher",

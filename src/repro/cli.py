@@ -154,15 +154,19 @@ def cmd_count(args) -> int:
     if semantics == "induced":
         print("semantics: vertex-induced (AutoMine/GraphZero definition)")
 
+    # The backend preference rides on the query (not the call) so the
+    # session plans for its capabilities — e.g. an IEP-free plan when
+    # --backend vectorised is asked for.
     query = MatchQuery(
         pattern=pattern,
         mode=args.mode,
         semantics=semantics,
         use_iep=False if args.no_iep else None,
+        backend=_resolve_backend(args),
     )
     session = get_session(data)
     t0 = time.perf_counter()
-    result = session.count(query, backend=_resolve_backend(args))
+    result = session.count(query)
     elapsed = time.perf_counter() - t0
     print(f"config:  {result.provenance}")
     print(f"backend: {result.backend}")
@@ -207,7 +211,8 @@ def cmd_motifs(args) -> int:
     if args.induced:
         census = induced_motif_census(graph, args.k, backend=backend, session=session)
     else:
-        census = motif_census(graph, args.k, use_iep=not args.no_iep,
+        census = motif_census(graph, args.k,
+                              use_iep=False if args.no_iep else None,
                               backend=backend, session=session)
     elapsed = time.perf_counter() - t0
     semantics = "vertex-induced" if args.induced else "edge-induced"
@@ -223,11 +228,17 @@ def cmd_motifs(args) -> int:
 
 
 def cmd_backends(_args) -> int:
-    table = Table(["name", "enumerates", "description"],
+    table = Table(["name", "modes", "iep", "enumerates", "description"],
                   title="registered execution backends")
-    for name, cls in available_backends().items():
-        table.add_row([name, "yes" if cls.supports_enumeration else "no",
-                       cls().describe()])
+    for name, info in available_backends().items():
+        caps = info.capabilities
+        table.add_row([
+            name,
+            ",".join(sorted(caps.modes)) or "-",
+            "yes" if caps.iep else "no",
+            "yes" if caps.enumeration else "no",
+            info.summary(),
+        ])
     print(table.render())
     return 0
 

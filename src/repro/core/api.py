@@ -101,14 +101,25 @@ class PatternMatcher:
         self._restriction_cache: list[RestrictionSet] | None = None
         self._schedule_cache: list | None = None
 
-    def _query(self, *, use_iep: bool, codegen: bool | None = None) -> MatchQuery:
-        """The declarative form of one call against this matcher."""
+    def _query(
+        self,
+        *,
+        use_iep: bool | None,
+        codegen: bool | None = None,
+        backend: str | ExecutionBackend | None = None,
+    ) -> MatchQuery:
+        """The declarative form of one call against this matcher.
+
+        The effective backend preference (call-level wins over the
+        matcher default) is part of the query so planning can consult
+        its capabilities — e.g. an IEP-free plan for ``vectorised``.
+        """
         return MatchQuery(
             pattern=self.pattern,
             mode="plain",
             semantics="edge",
             use_iep=use_iep,
-            backend=self.backend,
+            backend=backend if backend is not None else self.backend,
             max_restriction_sets=self.max_restriction_sets,
             dedup_schedules=self.dedup_schedules,
             use_codegen=self.use_codegen if codegen is None else codegen,
@@ -190,7 +201,7 @@ class PatternMatcher:
         self,
         graph: Graph,
         *,
-        use_iep: bool = True,
+        use_iep: bool | None = None,
         report: PlanReport | None = None,
         backend: str | ExecutionBackend | None = None,
     ) -> int:
@@ -199,15 +210,18 @@ class PatternMatcher:
         ``backend`` overrides the matcher's default for this call; all
         registered backends return identical counts (the equivalence
         tests pin this), they only differ in how the loop nest runs.
-        An explicit ``report`` executes that exact plan; otherwise the
-        graph's session plans once and replays the cached plan on every
+        ``use_iep=None`` (the default) resolves per backend capability:
+        IEP on, unless the preferred backend cannot execute IEP-suffix
+        plans (``vectorised``); an explicit bool forces it.  An explicit
+        ``report`` executes that exact plan; otherwise the graph's
+        session plans once and replays the cached plan on every
         identical call.
         """
         if report is not None:
             ctx = MatchContext(graph=graph, plan=report.plan, generated=report.generated)
             return self._select(ctx, backend).count(ctx)
         result = get_session(graph).count(
-            self._query(use_iep=use_iep), backend=backend
+            self._query(use_iep=use_iep, backend=backend)
         )
         return result.count
 
@@ -233,20 +247,20 @@ class PatternMatcher:
             chosen = self._select(ctx, backend, for_enumeration=True)
             return chosen.enumerate_embeddings(ctx, limit=limit)
         return get_session(graph).enumerate(
-            self._query(use_iep=False), limit=limit, backend=backend
+            self._query(use_iep=False, backend=backend), limit=limit
         )
 
     def result(
         self,
         graph: Graph,
         *,
-        use_iep: bool = True,
+        use_iep: bool | None = None,
         backend: str | ExecutionBackend | None = None,
     ) -> MatchResult:
         """Like :meth:`count` but returning the structured
         :class:`~repro.core.query.MatchResult` (backend used, plan
         provenance, cache hit/miss, timings)."""
-        return get_session(graph).count(self._query(use_iep=use_iep), backend=backend)
+        return get_session(graph).count(self._query(use_iep=use_iep, backend=backend))
 
 
 # ---------------------------------------------------------------------------
@@ -256,7 +270,7 @@ def count_pattern(
     graph: Graph,
     pattern: Pattern,
     *,
-    use_iep: bool = True,
+    use_iep: bool | None = None,
     backend: str | ExecutionBackend | None = None,
     **kwargs,
 ) -> int:

@@ -136,6 +136,34 @@ def make_prefix_counter(
 # ---------------------------------------------------------------------------
 # the backend interface and registry
 # ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can execute, declared up front.
+
+    ``supports(ctx)`` answers "can you run *this* context" (it may
+    inspect the concrete plan); capabilities answer the coarser
+    questions planners and UIs need *before* a context exists — which
+    matching modes the backend covers, whether it can execute an
+    IEP-suffix plan, whether it enumerates, and whether it consumes
+    generated kernels (so the planner knows codegen would be wasted).
+    :class:`~repro.core.session.MatchSession` uses these to plan for the
+    preferred backend instead of guessing, and the CLI ``backends``
+    command reports them verbatim.
+    """
+
+    #: matching modes (subset of :data:`MODES`) the backend executes.
+    modes: frozenset = frozenset()
+    #: can execute plans compiled with an IEP suffix (``iep_k > 0``).
+    iep: bool = True
+    #: implements :meth:`ExecutionBackend.enumerate_embeddings`.
+    enumeration: bool = False
+    #: consumes pre-generated kernels (``MatchContext.generated``).
+    generated_kernels: bool = False
+
+    def supports_mode(self, mode: str) -> bool:
+        return mode in self.modes
+
+
 class ExecutionBackend:
     """Strategy interface: how to execute a :class:`MatchContext`."""
 
@@ -143,6 +171,8 @@ class ExecutionBackend:
     name: str = ""
     #: whether :meth:`enumerate_embeddings` is implemented.
     supports_enumeration: bool = False
+    #: coarse capability flags; subclasses must override.
+    capabilities: BackendCapabilities = BackendCapabilities()
 
     def supports(self, ctx: MatchContext) -> bool:
         """Whether this backend can count ``ctx``."""
@@ -186,9 +216,58 @@ def backend_names() -> list[str]:
     return list(_REGISTRY)
 
 
-def available_backends() -> dict[str, type[ExecutionBackend]]:
-    """A copy of the registry (name -> backend class)."""
-    return dict(_REGISTRY)
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registry entry: the class plus its declared capabilities."""
+
+    name: str
+    cls: type[ExecutionBackend]
+    capabilities: BackendCapabilities
+
+    @property
+    def supports_enumeration(self) -> bool:
+        return self.cls.supports_enumeration
+
+    def summary(self) -> str:
+        doc = (self.cls.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else ""
+
+
+def available_backends() -> dict[str, BackendInfo]:
+    """Registered backends with their capability flags (name -> info).
+
+    The authoritative answer to "which backend can serve this context":
+    each entry reports the modes it executes, IEP-plan support,
+    enumeration support and whether it consumes generated kernels —
+    consumers (session planning, the CLI ``backends`` command) read
+    these flags instead of probing backend instances.
+    """
+    return {
+        name: BackendInfo(name=name, cls=cls, capabilities=cls.capabilities)
+        for name, cls in _REGISTRY.items()
+    }
+
+
+def capabilities_of(
+    spec: "str | ExecutionBackend | type[ExecutionBackend] | None",
+) -> BackendCapabilities | None:
+    """The capability flags a backend spec declares, or ``None``.
+
+    Accepts everything a ``backend=`` parameter does (a registered name,
+    an instance, a class, or ``None`` for "no preference").  An unknown
+    *name* also returns ``None`` — resolution errors belong to
+    :func:`get_backend` at execution time, not to query construction.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        cls = _REGISTRY.get(spec)
+        return cls.capabilities if cls is not None else None
+    if isinstance(spec, ExecutionBackend):
+        return spec.capabilities
+    if isinstance(spec, type) and issubclass(spec, ExecutionBackend):
+        return spec.capabilities
+    return None
 
 
 def get_backend(name: str, **options) -> ExecutionBackend:
@@ -246,6 +325,9 @@ class InterpreterBackend(ExecutionBackend):
 
     name = "interpreter"
     supports_enumeration = True
+    capabilities = BackendCapabilities(
+        modes=frozenset(MODES), iep=True, enumeration=True
+    )
 
     def supports(self, ctx: MatchContext) -> bool:
         return ctx.mode in MODES
@@ -265,6 +347,9 @@ class PreSliceBackend(ExecutionBackend):
 
     name = "preslice"
     supports_enumeration = True
+    capabilities = BackendCapabilities(
+        modes=frozenset({"plain"}), iep=True, enumeration=True
+    )
 
     def supports(self, ctx: MatchContext) -> bool:
         return ctx.mode == "plain" and isinstance(ctx.plan, ExecutionPlan)
@@ -283,6 +368,9 @@ class CompiledBackend(ExecutionBackend):
     """Generated specialised code (the paper's execution path); count only."""
 
     name = "compiled"
+    capabilities = BackendCapabilities(
+        modes=frozenset({"plain"}), iep=True, generated_kernels=True
+    )
 
     def supports(self, ctx: MatchContext) -> bool:
         return ctx.mode == "plain" and isinstance(ctx.plan, ExecutionPlan)
@@ -306,6 +394,10 @@ class ParallelBackend(ExecutionBackend):
     """
 
     name = "parallel"
+    # generated_kernels stays False: workers compile their own *prefix*
+    # kernels (make_prefix_counter); a whole-plan kernel shipped in the
+    # context is never executed, so planning one would be pure waste.
+    capabilities = BackendCapabilities(modes=frozenset(MODES), iep=True)
 
     def __init__(
         self,
@@ -350,3 +442,9 @@ def plain_context(graph, plan_or_config, generated: GeneratedCounter | None = No
             f"expected ExecutionPlan or Configuration, got {type(plan_or_config)!r}"
         )
     return MatchContext(graph=graph, plan=plan, generated=generated)
+
+
+# Registering the vectorised frontier backend requires this module to be
+# fully defined (it subclasses ExecutionBackend), hence the tail import:
+# importing the registry always brings the full backend set with it.
+from repro.core import vectorised as _vectorised  # noqa: E402, F401

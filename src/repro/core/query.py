@@ -22,9 +22,13 @@ frozen, declarative description of *what* to match —
 A query is *inert*: it holds no graph and does no work.  Binding it to a
 data graph and executing it is :class:`repro.core.session.MatchSession`'s
 job, which caches plans keyed by :attr:`MatchQuery.fingerprint` — the
-canonical tuple of every plan-affecting field (the ``backend``
-preference deliberately excluded: it changes how a plan *runs*, never
-which plan is chosen).
+canonical tuple of every plan-affecting field.  The ``backend``
+preference itself is deliberately excluded from the fingerprint: it
+changes how a plan *runs*, not which plan is chosen.  What *is*
+fingerprinted is the resolved IEP choice, which consults the preferred
+backend's declared capabilities (a backend that cannot execute
+IEP-suffix plans, e.g. ``vectorised``, defaults to an IEP-free plan),
+so capability-driven planning still caches correctly.
 
 Execution returns a :class:`MatchResult` — a structured record (count,
 backend used, plan provenance, cache hit/miss, timings) that still
@@ -37,6 +41,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.backend import capabilities_of
 from repro.pattern.directed import DiPattern
 from repro.pattern.labeled import LabeledPattern
 from repro.pattern.pattern import Pattern
@@ -145,10 +150,23 @@ class MatchQuery:
 
     @property
     def resolved_use_iep(self) -> bool:
-        """The effective IEP choice after applying mode defaults."""
+        """The effective IEP choice after applying mode defaults.
+
+        The mode default (IEP on for plain edge-semantics counting) is
+        additionally gated on the backend preference's declared
+        capabilities: a backend that cannot execute IEP-suffix plans
+        (e.g. ``vectorised``) gets an IEP-free plan rather than a plan
+        it would have to bounce to the interpreter.  An explicit
+        ``use_iep=True`` still wins — and then the fallback applies.
+        """
         if self.use_iep is not None:
             return bool(self.use_iep)
-        return self.mode == "plain" and self.semantics == "edge"
+        if self.mode != "plain" or self.semantics != "edge":
+            return False
+        caps = capabilities_of(self.backend)
+        if caps is not None and not caps.iep:
+            return False
+        return True
 
     @property
     def fingerprint(self) -> tuple:

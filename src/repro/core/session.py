@@ -51,6 +51,7 @@ from typing import Any, Iterator, NamedTuple
 from repro.core.backend import (
     ExecutionBackend,
     MatchContext,
+    capabilities_of,
     get_backend,
     select_backend,
 )
@@ -381,14 +382,20 @@ class MatchSession:
     def _plan_plain(self, query: MatchQuery, key: tuple) -> PlanEntry:
         induced = query.semantics == "induced"
         # Codegen only covers plain edge-semantics plans; skip the wasted
-        # generation for induced entries (the interpreter family runs them).
+        # generation for induced entries (the interpreter family runs
+        # them) and for backend preferences whose declared capabilities
+        # say they never consume generated kernels (e.g. vectorised —
+        # a later explicit backend="compiled" call still gets a kernel
+        # on demand via _ensure_kernel).
+        caps = capabilities_of(query.backend)
+        wants_kernel = caps is None or caps.generated_kernels
         report = plan_plain(
             query.pattern,
             self.stats,
             use_iep=query.resolved_use_iep,
             max_restriction_sets=query.max_restriction_sets,
             dedup_schedules=query.dedup_schedules,
-            codegen=query.use_codegen and not induced,
+            codegen=query.use_codegen and not induced and wants_kernel,
         )
         return PlanEntry(
             key=key,
@@ -451,6 +458,25 @@ class MatchSession:
         )
 
     # -- execution ------------------------------------------------------
+    def _effective_query(
+        self, query: MatchQuery, backend: "str | ExecutionBackend | None"
+    ) -> MatchQuery:
+        """Fold the winning backend preference into the query.
+
+        Preference order: call-level ``backend=`` > the query's own >
+        the session default.  Folding it in *before* planning lets the
+        capability-aware knobs (IEP resolution, codegen skip) see the
+        preference regardless of which channel supplied it — a
+        session-default or per-call ``"vectorised"`` gets the IEP-free
+        plan it can execute, not a silent interpreter fallback.
+        """
+        effective = backend if backend is not None else query.backend
+        if effective is None:
+            effective = self.backend
+        if effective is not None and effective is not query.backend:
+            query = query.with_backend(effective)
+        return query
+
     def _select(
         self,
         ctx: MatchContext,
@@ -502,7 +528,7 @@ class MatchSession:
         exists.  ``backend`` overrides the query's and the session's
         preference for this call only.
         """
-        query = as_query(query)
+        query = self._effective_query(as_query(query), backend)
         graph = self._execution_graph(query)
         entry, was_hit = self._lookup_or_plan(query)
         ctx = entry.context(graph)
@@ -536,7 +562,7 @@ class MatchSession:
         fingerprint); counting-only backends fall back to the
         interpreter automatically.
         """
-        query = as_query(query).for_enumeration()
+        query = self._effective_query(as_query(query), backend).for_enumeration()
         graph = self._execution_graph(query)
         entry, _ = self._lookup_or_plan(query)
         ctx = entry.context(graph)

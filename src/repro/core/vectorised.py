@@ -1,0 +1,410 @@
+"""The vectorised frontier backend: bulk extension of whole candidate sets.
+
+Every other single-process backend in this repository expands candidates
+one partial embedding at a time — the nested-loop DFS of
+:mod:`repro.core.engine` and the generated code of
+:mod:`repro.core.codegen` both pay Python interpreter overhead per
+embedding.  Set-centric systems (GraphMini, Peregrine's pattern-aware
+exploration) avoid that by operating on whole candidate sets at once;
+this module brings the same execution style to GraphPi's planned
+schedules and restrictions:
+
+* the partial embeddings at loop depth ``d`` are one 2-D ``numpy`` array
+  (the *frontier*, shape ``(n_partial, d)``, one row per embedding);
+* extending the frontier to depth ``d + 1`` is a handful of whole-array
+  operations: clip each row's CSR neighbour range to its restriction
+  window by binary-searching the sorted edge keys, gather the clipped
+  pivot ranges (:func:`~repro.graph.intersection.gather_ranges`), and
+  intersect against the remaining bound neighbourhoods with batched
+  binary search over those same keys
+  (:func:`~repro.graph.intersection.bulk_contains_sorted`) — GraphPi's
+  restriction inequalities ``id(u) > id(v)`` are thereby enforced
+  *before* the gather, and :func:`restriction_mask` re-applies them as
+  vectorised boolean masks where candidates are re-examined;
+* the innermost loop never materialises: its surviving candidates are
+  simply counted, the bulk form of the interpreter's last-loop shortcut.
+
+The semantics are exactly the interpreter's — same plans, same
+restriction placement, same counts — only the iteration strategy
+changes, so the cross-backend equivalence suite pins this backend
+against the same brute-force oracle as every other.
+
+What it deliberately does **not** cover (the automatic interpreter
+fallback in :func:`~repro.core.backend.select_backend` handles these):
+
+* plans compiled with an IEP suffix (``iep_k > 0``) — IEP evaluates
+  per-prefix counting formulas that do not vectorise across a frontier;
+  the session layer plans IEP-free when this backend is preferred, so
+  the fallback only triggers for explicitly requested IEP plans;
+* labeled / induced / directed contexts — different engine families;
+* schedules with a disconnected prefix (no dependency to pivot on; the
+  phase-1 generator never emits these).
+
+Frontiers grow multiplicatively with depth, so :class:`FrontierEngine`
+bounds peak memory by processing the root vertices in chunks
+(``root_chunk``): each chunk runs through the whole loop nest before the
+next starts, which also keeps enumeration lazy and in the interpreter's
+DFS order.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.config import ExecutionPlan
+from repro.graph.csr import Graph
+from repro.graph.intersection import (
+    bulk_contains_sorted,
+    gather_ranges,
+    sorted_edge_keys,
+)
+
+#: default number of root vertices processed per frontier sweep.
+DEFAULT_ROOT_CHUNK = 32768
+
+
+@lru_cache(maxsize=8)
+def _graph_edge_keys(graph: Graph) -> np.ndarray:
+    """The graph's sorted edge-key array, computed once per graph.
+
+    Graphs are immutable, so the keys can be shared by every engine the
+    backend builds — repeated cached-plan executions (a motif census, a
+    service draining requests) must not pay the O(E) rebuild per call.
+    The small LRU mirrors the session registry's retention policy.
+    """
+    return sorted_edge_keys(graph.indptr, graph.indices)
+
+
+def restriction_mask(
+    front: np.ndarray,
+    owner: np.ndarray,
+    cand: np.ndarray,
+    lower: Sequence[int],
+    upper: Sequence[int],
+) -> np.ndarray:
+    """Vectorised GraphPi restriction predicate for one extension step.
+
+    ``front`` is the depth-``d`` frontier, ``(owner, cand)`` the proposed
+    extension pairs (``cand[i]`` extends row ``front[owner[i]]``), and
+    ``lower``/``upper`` the plan's restriction columns at the new depth:
+    a column ``j`` in ``lower`` means ``id(new) > id(bound_j)``, in
+    ``upper`` ``id(bound_j) > id(new)`` — exactly the scalar predicates
+    of :mod:`repro.core.restrictions`, evaluated for every pair at once.
+    """
+    mask = np.ones(len(cand), dtype=bool)
+    for j in lower:
+        mask &= cand > front[owner, j]
+    for j in upper:
+        mask &= cand < front[owner, j]
+    return mask
+
+
+class FrontierEngine:
+    """Executes one IEP-free plan against one graph, breadth-first.
+
+    The vectorised counterpart of :class:`repro.core.engine.Engine`:
+    same plan, same counts, but each loop depth is one bulk array
+    operation over the whole frontier instead of a recursive call per
+    partial embedding.
+    """
+
+    def __init__(
+        self, graph: Graph, plan: ExecutionPlan, *, root_chunk: int = DEFAULT_ROOT_CHUNK
+    ):
+        if plan.iep_k > 0:
+            raise ValueError(
+                "the frontier engine requires an IEP-free plan (iep_k=0); "
+                "plan with use_iep=False or fall back to the interpreter"
+            )
+        if any(not plan.deps[d] for d in range(1, plan.n)):
+            raise ValueError(
+                "the frontier engine requires a connected-prefix schedule "
+                "(every depth past the first needs a dependency to pivot on)"
+            )
+        if root_chunk < 1:
+            raise ValueError("root_chunk must be >= 1")
+        self.graph = graph
+        self.plan = plan
+        self.root_chunk = root_chunk
+        self._edge_keys = _graph_edge_keys(graph)
+
+    # ------------------------------------------------------------------
+    # bounded candidate ranges (the bulk form of ``bounded_slice``)
+    # ------------------------------------------------------------------
+    def _bounds(
+        self, front: np.ndarray, depth: int
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Per-row restriction window ``(lo, hi)`` for the new vertex.
+
+        A candidate must exceed every ``lower`` column's value and stay
+        below every ``upper`` column's — for integers that collapses to
+        the open interval ``(max lowers, min uppers)`` per frontier row,
+        exactly what the interpreter's ``bounded_slice`` resolves.
+        """
+        plan = self.plan
+        lower, upper = plan.lower[depth], plan.upper[depth]
+        lo = front[:, lower].max(axis=1) if lower else None
+        hi = front[:, upper].min(axis=1) if upper else None
+        return lo, hi
+
+    def _ranges(
+        self, values: np.ndarray, lo: np.ndarray | None, hi: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, counts)`` of each vertex's CSR row clipped to (lo, hi).
+
+        Because the edge keys ``u * n + v`` are globally sorted, the
+        binary search for "first neighbour of ``values[i]`` above
+        ``lo[i]``" runs for the whole frontier in one ``searchsorted``
+        — restriction pruning happens *before* the gather, so excluded
+        candidates are never materialised (the paper's ``break``, bulk).
+        """
+        indptr, n = self.graph.indptr, self.graph.n_vertices
+        keyed = values * n
+        starts = (
+            indptr[values]
+            if lo is None
+            else np.searchsorted(self._edge_keys, keyed + lo, side="right")
+        )
+        ends = (
+            indptr[values + 1]
+            if hi is None
+            else np.searchsorted(self._edge_keys, keyed + hi, side="left")
+        )
+        return starts, np.maximum(ends - starts, 0)
+
+    def _pivot_ranges(
+        self, front: np.ndarray, deps, lo, hi
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """The dependency column whose bounded ranges expand to the
+        fewest pairs, with those ranges; the other dependencies become
+        per-pair membership filters (one binary search each)."""
+        best = None
+        for j in deps:
+            starts, counts = self._ranges(front[:, j], lo, hi)
+            total = int(counts.sum())
+            if best is None or total < best[0]:
+                best = (total, j, starts, counts)
+        return best[1], best[2], best[3]
+
+    # ------------------------------------------------------------------
+    # frontier extension
+    # ------------------------------------------------------------------
+    def _extend(self, front: np.ndarray, depth: int) -> tuple[np.ndarray, np.ndarray]:
+        """All valid ``(owner, candidate)`` extensions of ``front``.
+
+        Owner-major with ascending candidates inside each owner — the
+        same order the DFS interpreter visits, so frontiers (and
+        therefore enumeration) stay in DFS order by induction.
+        """
+        plan, graph = self.plan, self.graph
+        deps = plan.deps[depth]
+        lo, hi = self._bounds(front, depth)
+        pivot, starts, counts = self._pivot_ranges(front, deps, lo, hi)
+        owner, cand = gather_ranges(graph.indices, starts, counts)
+        n = graph.n_vertices
+        mask = np.ones(len(cand), dtype=bool)
+        for j in deps:
+            if j != pivot:
+                mask &= bulk_contains_sorted(
+                    self._edge_keys, front[owner, j] * n + cand
+                )
+        # Injectivity: adjacency already rules out the dependency columns
+        # (no self-loops), only the non-adjacent bound vertices remain.
+        for j in range(depth):
+            if j not in deps:
+                mask &= cand != front[owner, j]
+        return owner[mask], cand[mask]
+
+    # ------------------------------------------------------------------
+    # the innermost loop: count without materialising
+    # ------------------------------------------------------------------
+    def _count_last(self, front: np.ndarray, depth: int) -> int:
+        """Candidates surviving the innermost loop, summed over ``front``.
+
+        The bulk form of the interpreter's last-loop shortcut, with one
+        extra amortisation: consecutive frontier rows that agree on the
+        dependency and bound columns (the frontier is DFS-sorted, so the
+        innermost-varying column produces long such runs) share one
+        candidate-set evaluation — count once, multiply by the run
+        length, then subtract the per-row already-used corrections.
+        """
+        plan = self.plan
+        deps = plan.deps[depth]
+        n = self.graph.n_vertices
+        lo, hi = self._bounds(front, depth)
+
+        if len(front) == 0:
+            return 0
+
+        key_cols = [front[:, j] for j in deps]
+        if lo is not None:
+            key_cols.append(lo)
+        if hi is not None:
+            key_cols.append(hi)
+        keys = np.column_stack(key_cols)
+        change = np.empty(len(front), dtype=bool)
+        change[0] = True
+        np.any(keys[1:] != keys[:-1], axis=1, out=change[1:])
+        reps = np.flatnonzero(change)
+        run_len = np.diff(np.append(reps, len(front)))
+
+        rep_front = front[reps]
+        rep_lo = lo[reps] if lo is not None else None
+        rep_hi = hi[reps] if hi is not None else None
+        pivot, starts, counts = self._pivot_ranges(rep_front, deps, rep_lo, rep_hi)
+        if len(deps) == 1:
+            base = counts
+        else:
+            owner, cand = gather_ranges(self.graph.indices, starts, counts)
+            mask = np.ones(len(cand), dtype=bool)
+            for j in deps:
+                if j != pivot:
+                    mask &= bulk_contains_sorted(
+                        self._edge_keys, rep_front[owner, j] * n + cand
+                    )
+            base = np.bincount(owner[mask], minlength=len(reps))
+        total = int((base * run_len).sum())
+
+        # Already-used vertices inside the candidate window would be
+        # over-counted; dependency columns cannot occur (no self-loops).
+        rows = np.arange(len(front))
+        for k in range(depth):
+            if k in deps:
+                continue
+            used = front[:, k]
+            hit = np.ones(len(front), dtype=bool)
+            for j in deps:
+                hit &= bulk_contains_sorted(
+                    self._edge_keys, front[:, j] * n + used
+                )
+            hit &= restriction_mask(
+                front, rows, used, plan.lower[depth], plan.upper[depth]
+            )
+            total -= int(hit.sum())
+        return total
+
+    def _root_chunks(self, first: int | None = None) -> Iterator[np.ndarray]:
+        """Sweep the root vertices in chunks of at most ``root_chunk``.
+
+        ``first`` starts smaller and grows geometrically — enumeration
+        with a small ``limit`` should not pay for a full chunk's
+        frontier when the first few roots already satisfy it.
+        """
+        roots = self.graph.vertices()
+        start, size = 0, min(first or self.root_chunk, self.root_chunk)
+        while start < len(roots):
+            yield roots[start : start + size]
+            start += size
+            size = min(size * 2, self.root_chunk)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Total number of embeddings under this plan (cf. ``Engine.count``)."""
+        plan = self.plan
+        if plan.n > self.graph.n_vertices:
+            return 0
+        if plan.n == 1:
+            return self.graph.n_vertices
+        total = 0
+        for roots in self._root_chunks():
+            front = roots[:, None]
+            for depth in range(1, plan.n):
+                if depth == plan.n - 1:
+                    total += self._count_last(front, depth)
+                    break
+                owner, cand = self._extend(front, depth)
+                if len(cand) == 0:
+                    break
+                front = np.concatenate([front[owner], cand[:, None]], axis=1)
+        return total
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def enumerate_embeddings(self, limit: int | None = None) -> Iterator[tuple[int, ...]]:
+        """Yield embeddings as tuples indexed by pattern vertex.
+
+        Chunked root processing keeps this lazy: only one chunk's
+        frontier is ever alive, and with a ``limit`` the sweep starts
+        from a small chunk (growing geometrically), so a
+        ``limit=5`` call touches a handful of roots, not the graph.
+        """
+        plan = self.plan
+        if plan.n > self.graph.n_vertices:
+            return
+        schedule = plan.config.schedule
+        inverse = [0] * len(schedule)
+        for pos, v in enumerate(schedule):
+            inverse[v] = pos
+        remaining = float("inf") if limit is None else limit
+        for roots in self._root_chunks(first=64 if limit is not None else None):
+            front = roots[:, None]
+            for depth in range(1, plan.n):
+                owner, cand = self._extend(front, depth)
+                if len(cand) == 0:
+                    front = front[:0]
+                    break
+                front = np.concatenate([front[owner], cand[:, None]], axis=1)
+            for row in front:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+                yield tuple(int(row[inverse[v]]) for v in range(len(schedule)))
+
+
+# ---------------------------------------------------------------------------
+# the registered backend
+# ---------------------------------------------------------------------------
+# Imported at the bottom of repro.core.backend so registration happens
+# whenever the registry itself is imported; importing this module first
+# works too (the registry import below is cycle-free by then).
+from repro.core.backend import (  # noqa: E402
+    BackendCapabilities,
+    ExecutionBackend,
+    MatchContext,
+    register_backend,
+)
+
+
+@register_backend
+class VectorisedBackend(ExecutionBackend):
+    """Bulk frontier execution over numpy arrays (plain, IEP-free plans).
+
+    Constructor options: ``root_chunk`` — root vertices per frontier
+    sweep (peak-memory bound; default ``DEFAULT_ROOT_CHUNK``).
+    """
+
+    name = "vectorised"
+    supports_enumeration = True
+    capabilities = BackendCapabilities(
+        modes=frozenset({"plain"}),
+        iep=False,
+        enumeration=True,
+    )
+
+    def __init__(self, *, root_chunk: int = DEFAULT_ROOT_CHUNK):
+        self.root_chunk = root_chunk
+
+    def supports(self, ctx: MatchContext) -> bool:
+        return (
+            ctx.mode == "plain"
+            and isinstance(ctx.plan, ExecutionPlan)
+            and ctx.plan.iep_k == 0
+            and all(ctx.plan.deps[d] for d in range(1, ctx.plan.n))
+        )
+
+    def _engine(self, ctx: MatchContext) -> FrontierEngine:
+        return FrontierEngine(ctx.graph, ctx.plan, root_chunk=self.root_chunk)
+
+    def count(self, ctx: MatchContext) -> int:
+        self._require(ctx)
+        return self._engine(ctx).count()
+
+    def enumerate_embeddings(self, ctx, limit=None):
+        self._require(ctx)
+        return self._engine(ctx).enumerate_embeddings(limit=limit)

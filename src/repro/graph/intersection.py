@@ -190,6 +190,81 @@ def bounded_count(a: np.ndarray, lower: int | None, upper: int | None) -> int:
     return max(0, hi_idx - lo_idx)
 
 
+# ---------------------------------------------------------------------------
+# bulk (frontier) primitives
+# ---------------------------------------------------------------------------
+# The vectorised execution backend (:mod:`repro.core.vectorised`) operates
+# on whole candidate frontiers at once.  Its inner kernels live here with
+# the scalar set algebra because they share the same invariant — CSR rows
+# are strictly increasing — and the same correctness obligations.
+
+
+def gather_ranges(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all i.
+
+    Returns ``(owner, out)`` where ``owner[j]`` is the range index that
+    produced ``out[j]``.  The workhorse of frontier extension: one gather
+    replaces ``len(starts)`` Python-level slice calls.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    owner = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    if total == 0:
+        return owner, _EMPTY
+    # Per-element source index: a global ramp shifted, per range, from
+    # the range's position in the output to its position in ``values``.
+    shift = np.repeat(
+        np.asarray(starts, dtype=np.int64) - (np.cumsum(counts) - counts), counts
+    )
+    return owner, values[np.arange(total, dtype=np.int64) + shift]
+
+
+def gather_csr_rows(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows of ``vertices``, tagged with their owner.
+
+    Returns ``(owner, values)`` where ``values`` is the concatenation of
+    ``indices[indptr[v]:indptr[v+1]]`` for each ``v`` in ``vertices`` (in
+    order) and ``owner[i]`` is the position in ``vertices`` whose row
+    produced ``values[i]`` — the bulk form of ``graph.neighbors``.
+    """
+    vertices = np.asarray(vertices, dtype=VERTEX_DTYPE)
+    starts = indptr[vertices]
+    return gather_ranges(indices, starts, indptr[vertices + 1] - starts)
+
+
+def sorted_edge_keys(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Every directed CSR entry ``(u, v)`` encoded as ``u * n + v``, sorted.
+
+    Rows are stored in vertex order and are strictly increasing inside,
+    so the key array is strictly increasing by construction — ready for
+    :func:`bulk_contains_sorted` without an explicit sort.
+    """
+    n = len(indptr) - 1
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    return row_of * n + indices
+
+
+def bulk_contains_sorted(haystack: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Vectorised membership of ``keys`` in a strictly increasing array.
+
+    The bulk form of :func:`contains`: one ``searchsorted`` answers every
+    query at once.  With ``haystack`` = :func:`sorted_edge_keys` output
+    and ``keys = u * n + v`` this is a batched ``has_edge`` — the
+    mechanism the vectorised backend uses to intersect a whole frontier's
+    candidates against a second bound vertex's neighbourhood.
+    """
+    keys = np.asarray(keys)
+    if len(haystack) == 0 or len(keys) == 0:
+        return np.zeros(len(keys), dtype=bool)
+    pos = np.searchsorted(haystack, keys)
+    pos[pos == len(haystack)] = len(haystack) - 1
+    return haystack[pos] == keys
+
+
 KERNELS = {
     "merge": intersect_merge,
     "searchsorted": intersect_searchsorted,

@@ -22,7 +22,7 @@ from repro.graph.intersection import bounded_slice, intersect
 from repro.pattern.catalog import clique
 
 
-def clique_count(graph: Graph, k: int, *, use_iep: bool = True, backend=None) -> int:
+def clique_count(graph: Graph, k: int, *, use_iep: bool | None = None, backend=None) -> int:
     """Count k-cliques via the full GraphPi pipeline.
 
     ``backend`` picks the execution backend from the registry
@@ -35,8 +35,8 @@ def clique_count(graph: Graph, k: int, *, use_iep: bool = True, backend=None) ->
         raise ValueError("cliques need k >= 2")
     if k == 2:
         return graph.n_edges
-    query = MatchQuery(pattern=clique(k), use_iep=use_iep)
-    return get_session(graph).count(query, backend=backend).count
+    query = MatchQuery(pattern=clique(k), use_iep=use_iep, backend=backend)
+    return get_session(graph).count(query).count
 
 
 def clique_count_ordered(graph: Graph, k: int) -> int:

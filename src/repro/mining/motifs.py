@@ -28,7 +28,7 @@ class MotifCount:
 
 
 def motif_census(
-    graph: Graph, k: int, *, use_iep: bool = True, backend=None,
+    graph: Graph, k: int, *, use_iep: bool | None = None, backend=None,
     session: MatchSession | None = None,
 ) -> list[MotifCount]:
     """Count every connected k-vertex motif in ``graph``.
@@ -49,17 +49,20 @@ def motif_census(
     if session is not None and session.graph is not graph:
         raise ValueError("session is bound to a different graph object")
     session = session or get_session(graph)
+    # The preference rides on the query so planning can consult the
+    # backend's capabilities (an IEP-incapable backend plans IEP-free).
     queries = [
-        MatchQuery(pattern=p, use_iep=use_iep) for p in connected_patterns(k)
+        MatchQuery(pattern=p, use_iep=use_iep, backend=backend)
+        for p in connected_patterns(k)
     ]
-    results = session.count_many(queries, backend=backend)
+    results = session.count_many(queries)
     return [
         MotifCount(q.pattern, r.count) for q, r in zip(queries, results)
     ]
 
 
 def motif_frequencies(
-    graph: Graph, k: int, *, use_iep: bool = True, backend=None
+    graph: Graph, k: int, *, use_iep: bool | None = None, backend=None
 ) -> dict[str, float]:
     """Relative motif frequencies (counts normalised to sum 1)."""
     census = motif_census(graph, k, use_iep=use_iep, backend=backend)
@@ -83,7 +86,7 @@ def induced_motif_census(
     """
     from repro.core.induced import supergraph_decomposition
 
-    census = motif_census(graph, k, use_iep=True, backend=backend, session=session)
+    census = motif_census(graph, k, backend=backend, session=session)
     noninduced = {canonical_form(m.pattern): m.count for m in census}
     induced: dict[tuple[int, int], int] = {}
     # Densest-first back-substitution (same recurrence as

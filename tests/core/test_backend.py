@@ -41,7 +41,7 @@ from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
 from repro.pattern.directed import directed_cycle, transitive_triangle
 from repro.pattern.labeled import LabeledPattern
 
-BUILTIN = ("interpreter", "preslice", "compiled", "parallel")
+BUILTIN = ("interpreter", "preslice", "compiled", "parallel", "vectorised")
 
 #: the equivalence catalog: every backend must agree with brute force
 #: on each of these.
@@ -64,6 +64,16 @@ class TestRegistry:
         snapshot = available_backends()
         snapshot["bogus"] = object
         assert "bogus" not in backend_names()
+
+    def test_available_backends_report_capabilities(self):
+        infos = available_backends()
+        for name, info in infos.items():
+            assert info.name == name
+            assert info.capabilities.modes  # every backend covers something
+        assert infos["interpreter"].capabilities.supports_mode("labeled")
+        assert not infos["compiled"].capabilities.supports_mode("directed")
+        assert infos["compiled"].capabilities.generated_kernels
+        assert not infos["vectorised"].capabilities.iep
 
     def test_get_backend_unknown_name(self):
         with pytest.raises(ValueError, match="unknown backend"):

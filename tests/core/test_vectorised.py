@@ -1,0 +1,281 @@
+"""The vectorised frontier backend and its bulk primitives.
+
+Four layers of coverage:
+
+* bulk primitives (`gather_csr_rows`, `sorted_edge_keys`,
+  `bulk_contains_sorted`) pinned against their scalar counterparts;
+* a property test that :func:`repro.core.vectorised.restriction_mask`
+  agrees with the scalar GraphPi restriction predicate ``id(g) > id(s)``
+  on random frontiers;
+* cross-backend equivalence: every registered backend — vectorised
+  included — over the fig2/catalog pattern set on generated *and*
+  dataset graphs;
+* the fallback rules: IEP-suffix / labeled / induced / directed
+  contexts bounce to the interpreter, and capability-aware planning
+  gives the vectorised preference an IEP-free plan it can execute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_count, bruteforce_induced_count
+from repro.core.api import count_pattern, match_pattern, match_query
+from repro.core.backend import (
+    BackendUnsupportedError,
+    MatchContext,
+    available_backends,
+    backend_names,
+    capabilities_of,
+    get_backend,
+    plain_context,
+    select_backend,
+)
+from repro.core.config import Configuration
+from repro.core.induced import induced_count
+from repro.core.query import MatchQuery
+from repro.core.restrictions import generate_restriction_sets
+from repro.core.schedule import generate_schedules
+from repro.core.session import MatchSession
+from repro.core.vectorised import FrontierEngine, restriction_mask
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi
+from repro.graph.intersection import (
+    bulk_contains_sorted,
+    contains,
+    gather_csr_rows,
+    sorted_edge_keys,
+)
+from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+
+#: the fig2/equivalence pattern set every backend must agree on.
+FIG2_PATTERNS = [triangle(), rectangle(), house(), pentagon(), clique(5)]
+
+
+@pytest.fixture(scope="module")
+def dataset_graph():
+    """A small real-shaped dataset proxy (power-law, unlike er_small)."""
+    return load_dataset("wiki-vote", scale=0.12, seed=7)
+
+
+def make_plan(pattern, iep_k=0):
+    s = generate_schedules(pattern)[0]
+    rs = generate_restriction_sets(pattern)[0]
+    return Configuration(pattern, s, rs).compile(iep_k=iep_k)
+
+
+# ---------------------------------------------------------------------------
+# bulk primitives
+# ---------------------------------------------------------------------------
+class TestBulkPrimitives:
+    def test_gather_csr_rows_matches_neighbors(self, er_small):
+        rng = np.random.default_rng(11)
+        vertices = rng.integers(0, er_small.n_vertices, size=60)
+        owner, values = gather_csr_rows(
+            er_small.indptr, er_small.indices, vertices
+        )
+        expected_values = np.concatenate(
+            [er_small.neighbors(int(v)) for v in vertices]
+        )
+        expected_owner = np.concatenate(
+            [np.full(er_small.degree(int(v)), i) for i, v in enumerate(vertices)]
+        )
+        assert np.array_equal(values, expected_values)
+        assert np.array_equal(owner, expected_owner)
+
+    def test_gather_csr_rows_empty_inputs(self, er_small):
+        owner, values = gather_csr_rows(
+            er_small.indptr, er_small.indices, np.empty(0, dtype=np.int64)
+        )
+        assert len(owner) == 0 and len(values) == 0
+
+    def test_sorted_edge_keys_are_strictly_increasing(self, er_small):
+        keys = sorted_edge_keys(er_small.indptr, er_small.indices)
+        assert len(keys) == len(er_small.indices)
+        assert np.all(np.diff(keys) > 0)
+
+    def test_bulk_contains_matches_scalar_contains(self, er_small):
+        keys = sorted_edge_keys(er_small.indptr, er_small.indices)
+        n = er_small.n_vertices
+        rng = np.random.default_rng(13)
+        u = rng.integers(0, n, size=500)
+        v = rng.integers(0, n, size=500)
+        got = bulk_contains_sorted(keys, u * n + v)
+        expected = np.array(
+            [contains(keys, int(a) * n + int(b)) for a, b in zip(u, v)]
+        )
+        assert np.array_equal(got, expected)
+        # and the keys encode exactly the edge relation
+        assert all(
+            bool(g) == er_small.has_edge(int(a), int(b))
+            for g, a, b in zip(got, u, v)
+        )
+
+    def test_bulk_contains_empty_haystack(self):
+        assert not bulk_contains_sorted(
+            np.empty(0, dtype=np.int64), np.array([1, 2])
+        ).any()
+
+
+# ---------------------------------------------------------------------------
+# restriction masks: vectorised == scalar predicate (property test)
+# ---------------------------------------------------------------------------
+class TestRestrictionMaskProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_mask_matches_scalar_predicates(self, seed):
+        """On random frontiers the vectorised mask equals the scalar
+        GraphPi predicate: ``lower`` columns j mean id(new) > id(bound_j),
+        ``upper`` columns id(bound_j) > id(new) — the exact semantics of
+        ``repro.core.restrictions``'s ``(g, s)`` pairs."""
+        rng = np.random.default_rng(seed)
+        depth = int(rng.integers(1, 5))
+        n_rows = int(rng.integers(1, 40))
+        n_pairs = int(rng.integers(1, 200))
+        front = rng.integers(0, 50, size=(n_rows, depth))
+        owner = rng.integers(0, n_rows, size=n_pairs)
+        cand = rng.integers(0, 50, size=n_pairs)
+        cols = list(range(depth))
+        rng.shuffle(cols)
+        cut = int(rng.integers(0, depth + 1))
+        lower, upper = cols[:cut], cols[cut:]
+
+        got = restriction_mask(front, owner, cand, lower, upper)
+        for i in range(n_pairs):
+            row = front[owner[i]]
+            ok = all(cand[i] > row[j] for j in lower) and all(
+                row[j] > cand[i] for j in upper
+            )
+            assert bool(got[i]) == ok, (i, row, cand[i], lower, upper)
+
+    def test_mask_no_restrictions_is_all_true(self):
+        front = np.arange(6).reshape(3, 2)
+        mask = restriction_mask(front, np.array([0, 1, 2]), np.array([9, 9, 9]), (), ())
+        assert mask.all()
+
+
+# ---------------------------------------------------------------------------
+# cross-backend equivalence (generated + dataset graphs)
+# ---------------------------------------------------------------------------
+class TestCrossBackendEquivalence:
+    def test_vectorised_is_registered(self):
+        assert "vectorised" in backend_names()
+        caps = available_backends()["vectorised"].capabilities
+        assert caps.supports_mode("plain")
+        assert not caps.iep
+        assert caps.enumeration
+
+    @pytest.mark.parametrize("pattern", FIG2_PATTERNS, ids=lambda p: p.name)
+    def test_generated_graph_all_backends_agree(self, er_small, pattern):
+        expected = bruteforce_count(er_small, pattern)
+        for name in backend_names():
+            spec = (
+                get_backend("parallel", n_workers=2) if name == "parallel" else name
+            )
+            got = count_pattern(er_small, pattern, use_iep=False, backend=spec)
+            assert got == expected, (name, pattern.name)
+
+    @pytest.mark.parametrize("pattern", FIG2_PATTERNS, ids=lambda p: p.name)
+    def test_dataset_graph_vectorised_matches_interpreter(
+        self, dataset_graph, pattern
+    ):
+        expected = count_pattern(
+            dataset_graph, pattern, use_iep=False, backend="interpreter"
+        )
+        got = count_pattern(
+            dataset_graph, pattern, use_iep=False, backend="vectorised"
+        )
+        assert got == expected, pattern.name
+
+    def test_vectorised_actually_executes(self, er_small):
+        """The capability-aware default plans IEP-free, so the preference
+        is honoured — the result reports vectorised, not a fallback."""
+        result = match_query(er_small, MatchQuery(house(), backend="vectorised"))
+        assert result.backend == "vectorised"
+        assert result.count == bruteforce_count(er_small, house())
+
+    def test_all_preference_channels_reach_vectorised(self, er_small):
+        """Call-level, query-level and session-default preferences all
+        fold into planning — none silently falls back to the
+        interpreter on an IEP plan it never asked for."""
+        expected = bruteforce_count(er_small, house())
+        by_call = MatchSession(er_small).count(
+            MatchQuery(house()), backend="vectorised"
+        )
+        by_query = MatchSession(er_small).count(
+            MatchQuery(house(), backend="vectorised")
+        )
+        by_session = MatchSession(er_small, backend="vectorised").count(
+            MatchQuery(house())
+        )
+        for result in (by_call, by_query, by_session):
+            assert result.backend == "vectorised"
+            assert result.count == expected
+
+    def test_root_chunking_preserves_counts(self, er_small):
+        plan = make_plan(house())
+        whole = FrontierEngine(er_small, plan).count()
+        chunked = FrontierEngine(er_small, plan, root_chunk=7).count()
+        assert whole == chunked == bruteforce_count(er_small, house())
+
+    def test_enumeration_matches_interpreter(self, er_small):
+        base = list(match_pattern(er_small, rectangle(), backend="interpreter"))
+        vect = list(match_pattern(er_small, rectangle(), backend="vectorised"))
+        assert base == vect  # same embeddings, same DFS order
+
+    def test_enumeration_respects_limit(self, er_small):
+        embs = list(match_pattern(er_small, triangle(), limit=5, backend="vectorised"))
+        assert len(embs) == 5
+
+
+# ---------------------------------------------------------------------------
+# fallback rules
+# ---------------------------------------------------------------------------
+class TestFallbacks:
+    def test_iep_plan_falls_back_to_interpreter(self, er_small):
+        session = MatchSession(er_small)
+        result = session.count(
+            MatchQuery(house(), use_iep=True, backend="vectorised")
+        )
+        assert result.backend == "interpreter"
+        assert result.count == bruteforce_count(er_small, house())
+
+    def test_iep_context_not_supported(self, er_small):
+        ctx = plain_context(er_small, make_plan(pentagon(), iep_k=1))
+        backend = get_backend("vectorised")
+        assert not backend.supports(ctx)
+        with pytest.raises(BackendUnsupportedError):
+            backend.count(ctx)
+        assert select_backend(ctx, "vectorised").name == "interpreter"
+
+    def test_induced_falls_back_but_counts_match(self, er_small):
+        expected = bruteforce_induced_count(er_small, rectangle())
+        assert induced_count(er_small, rectangle(), backend="vectorised") == expected
+
+    def test_induced_context_not_supported(self, er_small):
+        ctx = MatchContext(
+            graph=er_small, plan=make_plan(rectangle()), mode="induced"
+        )
+        assert not get_backend("vectorised").supports(ctx)
+        assert select_backend(ctx, "vectorised").name == "interpreter"
+
+    def test_frontier_engine_rejects_iep_plans(self, er_small):
+        with pytest.raises(ValueError, match="IEP-free"):
+            FrontierEngine(er_small, make_plan(pentagon(), iep_k=1))
+
+    def test_pattern_larger_than_graph_counts_zero(self):
+        tiny = erdos_renyi(4, 0.9, seed=1)
+        assert FrontierEngine(tiny, make_plan(clique(5))).count() == 0
+
+    def test_capability_gated_iep_resolution(self):
+        q = MatchQuery(house(), backend="vectorised")
+        assert q.resolved_use_iep is False
+        assert MatchQuery(house()).resolved_use_iep is True
+        assert MatchQuery(house(), backend="compiled").resolved_use_iep is True
+        # explicit use_iep always wins over the capability default
+        assert MatchQuery(house(), use_iep=True, backend="vectorised").resolved_use_iep
+
+    def test_capabilities_of_specs(self):
+        assert capabilities_of(None) is None
+        assert capabilities_of("no-such-backend") is None
+        inst = get_backend("vectorised")
+        assert capabilities_of(inst) is inst.capabilities
+        assert capabilities_of("vectorised").iep is False
