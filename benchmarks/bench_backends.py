@@ -29,7 +29,7 @@ from _common import QUICK, bench_graph, emit, emit_json, geomean, time_call
 DATASET = "wiki-vote"
 
 #: backends measured, interpreter first (the speedup baseline).
-BACKENDS = ["interpreter", "preslice", "compiled", "parallel", "vectorised"]
+BACKENDS = ["interpreter", "preslice", "compiled", "parallel", "vectorised", "distributed"]
 
 #: P1..P6 is the Fig. 8 grid; P5/P6 interpret slowly enough to dominate
 #: the whole suite, so the micro-bench uses the first four patterns
@@ -42,6 +42,10 @@ def _backend_instance(name: str):
         # compiled workers (the default) — this is the compiled+parallel
         # configuration the ISSUE's acceptance criterion names.
         return get_backend("parallel", n_workers=min(4, os.cpu_count() or 2))
+    if name == "distributed":
+        # .count() skips the cost replay, so this times the real
+        # counting path; the scaling study lives in bench_distributed.py.
+        return get_backend("distributed")
     return get_backend(name)
 
 

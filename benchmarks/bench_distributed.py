@@ -1,0 +1,163 @@
+"""Figure 12 through the backend seam: the distributed execution study.
+
+The original Fig. 12 bench (`bench_fig12_scaling.py`) measured task
+costs by hand and fed the cluster simulator directly — a side study
+detached from the matching API.  The `distributed` backend folds that
+study into the standard execution seam: this bench runs
+``MatchQuery(pattern, backend=distributed)`` through the session layer
+(the exact path ``count_pattern(..., backend=...)`` takes), so every
+call returns the **exact count** (cross-checked against the `compiled`
+backend here) *and* the simulated multi-node scaling profile from the
+measured per-task costs.
+
+Expected shape (the paper's three regimes): near-linear speedup while
+root-range tasks outnumber simulated threads, then flattening once
+24 x nodes approaches the task count, with work stealing absorbing the
+power-law task skew in between.  The quick mode (``REPRO_BENCH_QUICK=1``,
+the CI bench-smoke job) shrinks the proxy and trims patterns/node
+counts but still asserts count agreement and the curve shape.
+
+Outputs: an aligned table, ``benchmarks/results/bench_distributed.tsv``
+and machine-readable ``BENCH_distributed.json``.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import count_pattern, match_query
+from repro.core.backend import get_backend
+from repro.core.query import MatchQuery
+from repro.pattern.catalog import paper_patterns
+from repro.utils.tables import Table, format_seconds
+
+from _common import QUICK, bench_graph, emit, emit_json
+
+DATASET = "twitter"  # the proxy with enough vertices for >=1000 root tasks
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32) if QUICK else (1, 2, 4, 8, 16, 32, 64, 128)
+PATTERN_NAMES = ("P1", "P2") if QUICK else ("P1", "P2", "P3", "P4")
+
+#: 4 simulated threads per node, not Tianhe-2A's 24: the proxies are
+#: ~1000x smaller than the real Twitter graph, so a single root-range
+#: task on the hub vertex is ~5% of total work — at 24 threads/node the
+#: 1-node *baseline* already sits on that heavy-tail ceiling and no
+#: node count can look better.  Scaling threads down keeps the
+#: task:thread ratio in the paper's regime so the three Fig. 12 phases
+#: (near-linear, stealing-absorbed skew, heavy-tail flattening) are
+#: visible; the backend default stays 24 for paper-shaped studies.
+THREADS_PER_NODE = 4
+
+#: shape acceptance: on the heaviest workload, the early doubling must
+#: be near-linear and the curve must flatten by the largest node count.
+EARLY_SPEEDUP_FLOOR = 1.4  # speedup at 2 nodes (linear would be 2.0)
+FLAT_GAIN_CEILING = 1.6  # last doubling's relative gain (linear = 2.0)
+FINAL_FRACTION_CEILING = 0.7  # speedup@max must be < 0.7 * max nodes
+
+
+def run_distributed_bench() -> dict:
+    graph = bench_graph(DATASET)
+    patterns = paper_patterns()
+    records: dict[str, dict] = {}
+    for pname in PATTERN_NAMES:
+        pattern = patterns[pname]
+        backend = get_backend(
+            "distributed",
+            node_counts=NODE_COUNTS,
+            threads_per_node=THREADS_PER_NODE,
+        )
+        result = match_query(graph, MatchQuery(pattern, backend=backend))
+        report = result.distributed_report
+        assert report is not None, "distributed backend must attach its report"
+        # The count gate: the simulated-cluster path and the generated
+        # single-process kernel must agree exactly.
+        expected = count_pattern(graph, pattern, backend="compiled")
+        assert result.count == expected, (pname, result.count, expected)
+        records[pname] = {
+            "count": int(result.count),
+            "n_roots": report.n_roots,
+            "n_tasks": report.n_tasks,
+            "inner_backend": report.inner_backend,
+            "total_task_seconds": sum(report.task_seconds),
+            "node_counts": list(report.node_counts),
+            "makespans": list(report.makespans),
+            "speedups": list(report.speedups),
+            "efficiencies": list(report.efficiencies),
+            "steals": [r.steals for r in report.results],
+        }
+    return {
+        "graph": repr(graph),
+        "dataset": DATASET,
+        "quick": QUICK,
+        "threads_per_node": THREADS_PER_NODE,
+        "patterns": records,
+    }
+
+
+def _shape_assertions(results: dict) -> None:
+    """The Fig. 12 acceptance: near-linear early, flattening at scale.
+
+    Asserted on the heaviest pattern (most measured work) — the paper
+    itself shows the short P2/P3 runs scaling poorly, so light patterns
+    only need to stay exact, not scale.
+    """
+    heaviest = max(
+        results["patterns"].values(), key=lambda rec: rec["total_task_seconds"]
+    )
+    speedups = heaviest["speedups"]
+    nodes = heaviest["node_counts"]
+    assert speedups[1] >= EARLY_SPEEDUP_FLOOR, (
+        f"speedup at {nodes[1]} nodes is {speedups[1]:.2f}x, below the "
+        f"near-linear floor {EARLY_SPEEDUP_FLOOR}x"
+    )
+    last_gain = speedups[-1] / speedups[-2] if speedups[-2] else float("inf")
+    assert last_gain <= FLAT_GAIN_CEILING, (
+        f"curve still gaining {last_gain:.2f}x per doubling at "
+        f"{nodes[-1]} nodes - no flattening regime"
+    )
+    assert speedups[-1] <= FINAL_FRACTION_CEILING * nodes[-1], (
+        f"speedup {speedups[-1]:.1f}x at {nodes[-1]} nodes is implausibly "
+        f"close to linear for a saturated simulation"
+    )
+
+
+def _render(results: dict, capsys=None) -> dict:
+    suffix = ", quick" if QUICK else ""
+    table = Table(
+        ["pattern", "count", "#tasks"]
+        + [f"{n}n" for n in NODE_COUNTS]
+        + ["eff@max"],
+        title=f"Fig. 12 via backend seam on {DATASET} proxy "
+        f"({THREADS_PER_NODE} threads/node{suffix}); cells = simulated speedup",
+    )
+    for pname, rec in results["patterns"].items():
+        table.add_row(
+            [pname, rec["count"], rec["n_tasks"]]
+            + [f"{s:.1f}x" for s in rec["speedups"]]
+            + [f"{rec['efficiencies'][-1] * 100:.0f}%"]
+        )
+    emit(table, capsys, "bench_distributed.tsv")
+    emit_json("BENCH_distributed.json", results)
+    return results
+
+
+def test_distributed_scaling(benchmark, capsys):
+    from _common import once
+
+    results = once(benchmark, run_distributed_bench)
+    _render(results, capsys)
+    _shape_assertions(results)
+
+
+if __name__ == "__main__":
+    results = _render(run_distributed_bench())
+    _shape_assertions(results)
+    heaviest = max(
+        results["patterns"].items(),
+        key=lambda item: item[1]["total_task_seconds"],
+    )
+    curve = ", ".join(
+        f"{n}n:{s:.1f}x"
+        for n, s in zip(heaviest[1]["node_counts"], heaviest[1]["speedups"])
+    )
+    print(f"shape OK on {heaviest[0]}: {curve}")
+    print(f"simulated makespan@1 node: "
+          f"{format_seconds(heaviest[1]['makespans'][0])}")

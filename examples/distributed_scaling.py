@@ -7,14 +7,24 @@ Demonstrates all three runtime layers:
 2. real multiprocessing across local cores,
 3. the event-driven cluster simulator replaying *measured* task costs
    at Tianhe-2A scale (24 threads/node, MPI-style work stealing) — the
-   machinery behind the Figure 12 reproduction.
+   machinery behind the Figure 12 reproduction,
+4. the `distributed` execution backend, which folds steps 1+3 into the
+   unified query seam: one `MatchQuery` call returns the exact count
+   *and* the simulated scaling profile.
 
 Run:  python examples/distributed_scaling.py
 """
 
 import numpy as np
 
-from repro import PatternMatcher, get_pattern, load_dataset
+from repro import (
+    MatchQuery,
+    PatternMatcher,
+    get_backend,
+    get_pattern,
+    load_dataset,
+    match_query,
+)
 from repro.runtime.cluster import scaling_curve
 from repro.runtime.parallel import measure_task_costs, parallel_count
 from repro.runtime.tasks import run_partitioned
@@ -59,6 +69,19 @@ def main() -> None:
         )
     print(table.render())
     print("\nNear-linear until per-node work runs out — the Figure 12 shape.")
+
+    # 4. The same study through the unified backend seam: the session
+    #    plans for the backend's capabilities, an inner executor counts
+    #    root-range tasks for real, and the measured costs replay
+    #    through the simulator — one call, count + profile.
+    backend = get_backend(
+        "distributed", node_counts=(1, 4, 16, 64), threads_per_node=4
+    )
+    res = match_query(graph, MatchQuery(pattern, backend=backend))
+    rep = res.distributed_report
+    assert res.count == total
+    print(f"\nbackend seam: count={res.count} via backend={res.backend!r}")
+    print(f"  {rep.describe()}")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,11 @@ from repro.graph.stats import GraphStats
 from repro.pattern.catalog import get_pattern, paper_patterns
 from repro.pattern.directed import DiPattern
 from repro.pattern.pattern import Pattern
+from repro.runtime.distributed import (
+    DistributedBackend,
+    DistributedReport,
+    distributed_count_ctx,
+)
 
 __version__ = "1.0.0"
 
@@ -65,5 +70,8 @@ __all__ = [
     "paper_patterns",
     "Pattern",
     "DiPattern",
+    "DistributedBackend",
+    "DistributedReport",
+    "distributed_count_ctx",
     "__version__",
 ]

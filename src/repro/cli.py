@@ -10,7 +10,11 @@ count    count embeddings of a pattern in a dataset/edge-list file
          (--mode plain|labeled|directed, --semantics edge|induced,
          --backend to pick the execution backend, --approx N for the
          sampling estimator; every mode routes through the unified
-         MatchQuery/MatchSession facade with its plan cache)
+         MatchQuery/MatchSession facade with its plan cache.
+         --backend distributed additionally prints the simulated
+         multi-node scaling table: --nodes 1,4,16 picks the simulated
+         node counts, --tasks the root-range task granularity and
+         --inner the per-task executor)
 plan     show the preprocessing decisions (restrictions, schedule, model)
 motifs   run a k-motif census (--induced converts the census; the whole
          census shares one MatchSession, so plans are reused)
@@ -32,6 +36,7 @@ from repro.core.session import get_session
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.stats import GraphStats
 from repro.pattern.catalog import NAMED_PATTERNS, get_pattern, paper_patterns
+from repro.runtime.distributed import INNER_BACKENDS
 from repro.utils.tables import Table, format_seconds
 
 
@@ -57,15 +62,82 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
                              "plan supports it, interpreter otherwise)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for --backend parallel")
+    parser.add_argument("--nodes", default=None, metavar="N[,N...]",
+                        help="simulated node counts for --backend distributed "
+                             "(comma-separated, e.g. 1,4,16,64)")
+    parser.add_argument("--tasks", type=int, default=None, metavar="N",
+                        help="root-range task count for --backend distributed")
+    parser.add_argument("--inner", default=None, choices=list(INNER_BACKENDS),
+                        help="inner per-task executor for --backend "
+                             "distributed (default vectorised)")
 
 
-def _resolve_backend(args):
-    """The backend instance the CLI flags ask for (None = default policy)."""
+def _parse_nodes(spec: str) -> list[int]:
+    try:
+        nodes = [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"--nodes expects comma-separated integers, got {spec!r}")
+    if not nodes or any(n < 1 for n in nodes):
+        raise ValueError(f"--nodes expects positive node counts, got {spec!r}")
+    return nodes
+
+
+def _resolve_backend(args, *, count_report: bool = True):
+    """The backend instance the CLI flags ask for (None = default policy).
+
+    ``count_report=False`` marks callers that only print counts (the
+    motif census): a distributed backend is then built with
+    ``simulate=False`` so no cost replay runs for a report nobody sees.
+    """
+    if args.backend != "distributed":
+        for flag, value in (("--nodes", args.nodes), ("--tasks", args.tasks),
+                            ("--inner", args.inner)):
+            if value is not None:
+                # Silently dropping a scaling-study flag would hand the
+                # user a plain count they believe is a multi-node run.
+                raise ValueError(f"{flag} requires --backend distributed")
+    if args.backend != "parallel" and args.workers is not None:
+        raise ValueError("--workers requires --backend parallel")
     if args.backend is None:
         return None
     if args.backend == "parallel":
         return get_backend("parallel", n_workers=args.workers)
+    if args.backend == "distributed":
+        options = {}
+        if args.nodes is not None:
+            options["node_counts"] = _parse_nodes(args.nodes)
+        if args.tasks is not None:
+            options["n_tasks"] = args.tasks
+        if args.inner is not None:
+            options["inner"] = args.inner
+        if not count_report:
+            if args.nodes is not None:
+                raise ValueError(
+                    "--nodes configures the scaling report, which this "
+                    "command does not print; it applies to "
+                    "`count --backend distributed`"
+                )
+            options["simulate"] = False
+        return get_backend("distributed", **options)
     return get_backend(args.backend)
+
+
+def _print_distributed_report(report) -> None:
+    """Render a DistributedReport's scaling curve under a count."""
+    print(f"distributed: {report.describe()}")
+    table = Table(["nodes", "threads", "makespan", "speedup", "efficiency", "steals"],
+                  title=f"simulated scaling ({report.threads_per_node} threads/node, "
+                        f"measured task costs replayed)")
+    for n, res, speedup in zip(report.node_counts, report.results, report.speedups):
+        table.add_row([
+            n,
+            n * report.threads_per_node,
+            format_seconds(res.makespan),
+            f"{speedup:.1f}x",
+            f"{res.efficiency * 100:.0f}%",
+            res.steals,
+        ])
+    print(table.render())
 
 
 def _mode_inputs(args, graph):
@@ -119,11 +191,24 @@ def cmd_count(args) -> int:
         print(f"error: --semantics induced is only defined for --mode plain, "
               f"not {args.mode!r}", file=sys.stderr)
         return 2
+    # Resolved (and flag-validated) before the --approx early return, so
+    # a scaling-study flag without --backend distributed errors instead
+    # of being silently dropped on the sampling path.
+    try:
+        resolved_backend = _resolve_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.approx:
         if args.mode != "plain" or semantics != "edge":
             print("error: --approx only supports --mode plain with edge "
                   "semantics", file=sys.stderr)
+            return 2
+        if args.backend is not None:
+            print("error: --approx is a sampling estimator and does not "
+                  "execute through a backend; drop --approx or "
+                  f"--backend {args.backend}", file=sys.stderr)
             return 2
         from repro.approx.sampling import approximate_count
 
@@ -162,7 +247,7 @@ def cmd_count(args) -> int:
         mode=args.mode,
         semantics=semantics,
         use_iep=False if args.no_iep else None,
-        backend=_resolve_backend(args),
+        backend=resolved_backend,
     )
     session = get_session(data)
     t0 = time.perf_counter()
@@ -177,6 +262,8 @@ def cmd_count(args) -> int:
     print(f"time:    {format_seconds(elapsed)} "
           f"(preprocessing {format_seconds(result.seconds_plan)}"
           f"{', plan-cache hit' if result.cache_hit else ''})")
+    if result.distributed_report is not None:
+        _print_distributed_report(result.distributed_report)
     return 0
 
 
@@ -205,7 +292,11 @@ def cmd_motifs(args) -> int:
     from repro.mining.motifs import induced_motif_census, motif_census
 
     graph = _load_graph(args)
-    backend = _resolve_backend(args)
+    try:
+        backend = _resolve_backend(args, count_report=False)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     session = get_session(graph)  # one session: plans reused across the census
     t0 = time.perf_counter()
     if args.induced:
@@ -228,7 +319,7 @@ def cmd_motifs(args) -> int:
 
 
 def cmd_backends(_args) -> int:
-    table = Table(["name", "modes", "iep", "enumerates", "description"],
+    table = Table(["name", "modes", "iep", "enumerates", "kernels", "description"],
                   title="registered execution backends")
     for name, info in available_backends().items():
         caps = info.capabilities
@@ -237,6 +328,7 @@ def cmd_backends(_args) -> int:
             ",".join(sorted(caps.modes)) or "-",
             "yes" if caps.iep else "no",
             "yes" if caps.enumeration else "no",
+            "yes" if caps.generated_kernels else "no",
             info.summary(),
         ])
     print(table.render())

@@ -444,7 +444,9 @@ def plain_context(graph, plan_or_config, generated: GeneratedCounter | None = No
     return MatchContext(graph=graph, plan=plan, generated=generated)
 
 
-# Registering the vectorised frontier backend requires this module to be
-# fully defined (it subclasses ExecutionBackend), hence the tail import:
-# importing the registry always brings the full backend set with it.
+# Registering the vectorised frontier and distributed backends requires
+# this module to be fully defined (they subclass ExecutionBackend), hence
+# the tail imports: importing the registry always brings the full
+# backend set with it.
 from repro.core import vectorised as _vectorised  # noqa: E402, F401
+from repro.runtime import distributed as _distributed  # noqa: E402, F401

@@ -267,6 +267,10 @@ class MatchResult:
     seconds_execute: float
     provenance: str
     fingerprint: tuple
+    #: side-channel scaling profile, populated only when the executing
+    #: backend implements ``count_with_report`` (the ``distributed``
+    #: backend's :class:`~repro.runtime.distributed.DistributedReport`).
+    distributed_report: Any = None
 
     @property
     def seconds_total(self) -> float:

@@ -534,8 +534,15 @@ class MatchSession:
         ctx = entry.context(graph)
         chosen = self._select(ctx, query, backend)
         ctx = self._ensure_kernel(entry, chosen, ctx)
+        # Backends with a structured side-channel (the distributed
+        # backend's scaling profile) expose count_with_report; the tuple
+        # protocol keeps plain count() implementations untouched.
+        runner = getattr(chosen, "count_with_report", None)
         with Timer() as t_exec:
-            n = chosen.count(ctx)
+            if runner is not None:
+                n, side_report = runner(ctx)
+            else:
+                n, side_report = chosen.count(ctx), None
         return MatchResult(
             count=n,
             backend=chosen.name,
@@ -546,6 +553,7 @@ class MatchSession:
             seconds_execute=t_exec.elapsed,
             provenance=entry.provenance,
             fingerprint=entry.key[0],
+            distributed_report=side_report,
         )
 
     def enumerate(

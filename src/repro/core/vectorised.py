@@ -305,14 +305,26 @@ class FrontierEngine:
     # ------------------------------------------------------------------
     def count(self) -> int:
         """Total number of embeddings under this plan (cf. ``Engine.count``)."""
+        return self.count_roots(self.graph.vertices())
+
+    def count_roots(self, roots) -> int:
+        """Embeddings whose root (outermost loop) vertex lies in ``roots``.
+
+        The per-task entry point of the distributed backend: a root-range
+        task is one bulk frontier sweep, and summing ``count_roots`` over
+        a partition of the vertex set equals :meth:`count` exactly.
+        ``roots`` may be any 1-D sequence of vertex ids; it is swept in
+        ``root_chunk``-sized batches like the full count.
+        """
         plan = self.plan
         if plan.n > self.graph.n_vertices:
             return 0
+        roots = np.asarray(roots, dtype=np.int64)
         if plan.n == 1:
-            return self.graph.n_vertices
+            return len(roots)
         total = 0
-        for roots in self._root_chunks():
-            front = roots[:, None]
+        for start in range(0, len(roots), self.root_chunk):
+            front = roots[start : start + self.root_chunk, None]
             for depth in range(1, plan.n):
                 if depth == plan.n - 1:
                     total += self._count_last(front, depth)

@@ -117,6 +117,9 @@ class ClusterSimulator:
 
         # Pending steals: node -> arrival time of the in-flight batch.
         inflight: dict[int, float] = {}
+        # Future task-completion times (lazily pruned): the progress
+        # horizon idle workers park on under zero-latency configurations.
+        finishes: list[float] = []
         busy = [0.0] * n_nodes
         steals = 0
         failed_rounds = 0
@@ -169,12 +172,27 @@ class ClusterSimulator:
                 finish = now + dur
                 makespan = max(makespan, finish)
                 heapq.heappush(heap, (finish, tie, node, thread))
+                heapq.heappush(finishes, finish)
                 tie += 1
             else:
                 # Idle until either an in-flight batch lands or a small
                 # backoff elapses; re-queue the worker at that time.
                 wake = inflight.get(node, now + spec.steal_latency)
-                heapq.heappush(heap, (max(wake, now + spec.steal_latency / 4), tie, node, thread))
+                wake = max(wake, now + spec.steal_latency / 4)
+                if wake <= now and node not in inflight:
+                    # Zero-latency configuration with nothing headed our
+                    # way: park on the next task completion, or an idle
+                    # node whose steal just failed could spin forever at
+                    # one timestamp while a busy node holds every
+                    # remaining task.  (With a batch in flight, even one
+                    # due now, re-queueing at `now` is livelock-free —
+                    # the next pop delivers it — and parking would defer
+                    # already-stolen work behind an unrelated task.)
+                    while finishes and finishes[0] <= now:
+                        heapq.heappop(finishes)
+                    if finishes:
+                        wake = finishes[0]
+                heapq.heappush(heap, (wake, tie, node, thread))
                 tie += 1
 
         return SimulationResult(
@@ -193,17 +211,27 @@ def scaling_curve(
     *,
     threads_per_node: int = 24,
     steal_latency: float = 5e-4,
+    dispatch_overhead: float = 1e-6,
     seed: int = 2020,
     policy: StealPolicy | None = None,
+    distribution: str = "block",
 ) -> list[SimulationResult]:
-    """Run the simulator over a range of node counts (Figure 12's x-axis)."""
+    """Run the simulator over a range of node counts (Figure 12's x-axis).
+
+    The one replay protocol: both the standalone Fig. 12 benches and the
+    ``distributed`` execution backend build their per-node-count curves
+    here, so the two paths cannot drift.
+    """
     results = []
     for n in node_counts:
         spec = ClusterSpec(
             n_nodes=int(n),
             threads_per_node=threads_per_node,
             steal_latency=steal_latency,
+            dispatch_overhead=dispatch_overhead,
             policy=policy or StealPolicy(),
         )
-        results.append(ClusterSimulator(spec, seed=seed).run(task_costs))
+        results.append(
+            ClusterSimulator(spec, seed=seed).run(task_costs, distribution=distribution)
+        )
     return results

@@ -186,8 +186,72 @@ class TestBackendFlags:
     def test_backends_command(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("interpreter", "preslice", "compiled", "parallel"):
+        for name in ("interpreter", "preslice", "compiled", "parallel",
+                     "vectorised", "distributed"):
             assert name in out
+        # the full capability rows, including kernel consumption
+        for column in ("modes", "iep", "enumerates", "kernels"):
+            assert column in out
+
+    def test_count_distributed_prints_scaling_table(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3", "--backend", "distributed",
+                   "--nodes", "1,2,4", "--tasks", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend: distributed" in out
+        assert "simulated scaling" in out
+        assert "speedup" in out
+        assert "16 tasks" in out
+
+    def test_count_distributed_rejects_bad_nodes(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "distributed",
+                   "--nodes", "zero"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_count_distributed_rejects_bad_tasks(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "distributed",
+                   "--tasks", "0"])
+        assert rc == 2
+        assert "n_tasks" in capsys.readouterr().err
+
+    def test_distributed_flags_require_distributed_backend(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "vectorised",
+                   "--nodes", "1,4"])
+        assert rc == 2
+        assert "--backend distributed" in capsys.readouterr().err
+
+    def test_motifs_distributed_counts_without_scaling_report(self, capsys):
+        rc = main(["motifs", "--k", "3", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "distributed"])
+        assert rc == 0
+        assert "motif" in capsys.readouterr().out
+        # --nodes configures a report the census never prints: reject it
+        rc = main(["motifs", "--k", "3", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "distributed",
+                   "--nodes", "1,4"])
+        assert rc == 2
+        assert "count --backend distributed" in capsys.readouterr().err
+
+    def test_workers_require_parallel_backend(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--backend", "compiled",
+                   "--workers", "4"])
+        assert rc == 2
+        assert "--backend parallel" in capsys.readouterr().err
+
+    def test_approx_refuses_explicit_backend(self, capsys):
+        for backend_args in (["--backend", "distributed", "--nodes", "1,4"],
+                             ["--backend", "vectorised"]):
+            rc = main(["count", "--pattern", "triangle", "--dataset",
+                       "wiki-vote", "--scale", "0.05", "--approx", "50",
+                       *backend_args])
+            assert rc == 2
+            assert "sampling estimator" in capsys.readouterr().err
 
     def test_count_backend_flag_matches_default(self, capsys):
         args = ["count", "--pattern", "triangle", "--dataset", "wiki-vote",

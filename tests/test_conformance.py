@@ -1,0 +1,160 @@
+"""Cross-backend golden-count conformance suite.
+
+GraphZero's lesson (and GraphMini's, and this repo's own history): every
+new execution strategy must count *identically* to the reference, on
+real workloads, not just on the unit fixtures it was developed against.
+This suite pins that invariant once and for all:
+
+* backends are **auto-discovered** at collection time via
+  :func:`repro.core.backend.available_backends` — registering a new
+  backend automatically parametrises every test here over it, with zero
+  new test code (constructor overrides for expensive backends go in
+  :data:`BACKEND_OPTIONS`, defaulting to none);
+* the workload is the catalog patterns x three graphs (an Erdős–Rényi
+  generated graph, a skewed power-law graph, and a dataset proxy)
+  against **pinned golden counts**.  The goldens were produced by the
+  interpreter backend and, where brute force is tractable (`er-40`),
+  verified against :func:`repro.baselines.bruteforce.bruteforce_count`;
+  all graphs are deterministic (seeded generators / seeded proxies), so
+  the numbers are stable across runs and platforms;
+* backends that declare enumeration support must also yield the exact
+  same *embedding sets* as the interpreter.
+
+A backend that cannot serve plain-mode counting is skipped on the
+counting tests (capabilities are declared, not probed), so the suite
+stays green for special-purpose registrations too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import count_pattern, match_pattern
+from repro.core.backend import available_backends, get_backend
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi, random_power_law
+from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+
+# ---------------------------------------------------------------------------
+# the pinned workload
+# ---------------------------------------------------------------------------
+GRAPH_BUILDERS = {
+    "er-40": lambda: erdos_renyi(40, 0.25, seed=101),
+    "powerlaw-150": lambda: random_power_law(150, avg_degree=8.0, exponent=2.2, seed=303),
+    "wiki-vote-0.1": lambda: load_dataset("wiki-vote", scale=0.1, seed=2020),
+}
+
+PATTERN_BUILDERS = {
+    "triangle": triangle,
+    "rectangle": rectangle,
+    "house": house,
+    "pentagon": pentagon,
+    "clique-4": lambda: clique(4),
+}
+
+#: golden exact counts: interpreter-produced, brute-force-verified on
+#: er-40 (the graph small enough for the O(n^k) oracle).
+GOLDEN = {
+    "er-40": {
+        "triangle": 153,
+        "rectangle": 913,
+        "house": 7722,
+        "pentagon": 6270,
+        "clique-4": 19,
+    },
+    "powerlaw-150": {
+        "triangle": 470,
+        "rectangle": 4460,
+        "house": 108151,
+        "pentagon": 43202,
+        "clique-4": 381,
+    },
+    "wiki-vote-0.1": {
+        "triangle": 891,
+        "rectangle": 10599,
+        "house": 333154,
+        "pentagon": 132042,
+        "clique-4": 961,
+    },
+}
+
+#: constructor overrides for backends whose defaults are too heavy for
+#: a conformance matrix (a future backend needs an entry only if its
+#: defaults are unsuitable; absence means "instantiate by name").
+BACKEND_OPTIONS = {
+    "parallel": {"n_workers": 2},
+    # counts only — the scaling replay is pinned in its own suite.
+    "distributed": {"simulate": False},
+}
+
+#: collection-time discovery: every registered backend, automatically.
+ALL_BACKENDS = sorted(available_backends())
+ENUMERATING_BACKENDS = sorted(
+    name
+    for name, info in available_backends().items()
+    if info.capabilities.enumeration
+)
+
+_GRAPH_CACHE: dict[str, object] = {}
+
+
+def conformance_graph(name: str):
+    """One shared graph object per name, so the session plan cache is
+    reused across every backend x pattern combination."""
+    if name not in _GRAPH_CACHE:
+        _GRAPH_CACHE[name] = GRAPH_BUILDERS[name]()
+    return _GRAPH_CACHE[name]
+
+
+def backend_spec(name: str):
+    options = BACKEND_OPTIONS.get(name)
+    return get_backend(name, **options) if options else name
+
+
+# ---------------------------------------------------------------------------
+# the suite
+# ---------------------------------------------------------------------------
+class TestGoldenCounts:
+    """Every registered backend must reproduce every pinned count."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("gname", sorted(GRAPH_BUILDERS))
+    @pytest.mark.parametrize("pname", sorted(PATTERN_BUILDERS))
+    def test_pinned_count(self, backend, gname, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("plain"):
+            pytest.skip(f"backend {backend!r} does not cover plain matching")
+        graph = conformance_graph(gname)
+        pattern = PATTERN_BUILDERS[pname]()
+        got = count_pattern(graph, pattern, backend=backend_spec(backend))
+        assert got == GOLDEN[gname][pname], (
+            f"backend {backend!r} returned {got} for {pname} on {gname}; "
+            f"golden count is {GOLDEN[gname][pname]}"
+        )
+
+    def test_goldens_cover_the_full_matrix(self):
+        assert set(GOLDEN) == set(GRAPH_BUILDERS)
+        for gname, per_pattern in GOLDEN.items():
+            assert set(per_pattern) == set(PATTERN_BUILDERS), gname
+
+
+class TestEnumerationConformance:
+    """Enumerating backends must yield the interpreter's embedding sets."""
+
+    @pytest.mark.parametrize("backend", ENUMERATING_BACKENDS)
+    @pytest.mark.parametrize("pname", ["triangle", "house"])
+    def test_embedding_sets_match_interpreter(self, backend, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("plain"):
+            pytest.skip(f"backend {backend!r} does not cover plain matching")
+        graph = conformance_graph("er-40")
+        pattern = PATTERN_BUILDERS[pname]()
+        reference = {
+            tuple(e) for e in match_pattern(graph, pattern, backend="interpreter")
+        }
+        got = {
+            tuple(e)
+            for e in match_pattern(graph, pattern, backend=backend_spec(backend))
+        }
+        assert got == reference
+        assert len(reference) == GOLDEN["er-40"][pname]
