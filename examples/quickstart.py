@@ -80,6 +80,21 @@ def main() -> None:
     print("\n--- generated counting code ---")
     print(entry.generated.source)
 
+    # Streaming: a mutating graph keeps its counts exact without ever
+    # recounting — each edge update adjusts the watched counts by
+    # enumerating only the embeddings through that edge (see
+    # examples/streaming_counts.py and docs/architecture.md).
+    from repro import DynamicGraph, StreamSession
+
+    stream = StreamSession(DynamicGraph.from_graph(graph))
+    tri = stream.watch(MatchQuery(get_pattern("triangle")))
+    u = next(v for v in range(graph.n_vertices) if not graph.has_edge(0, v) and v != 0)
+    delta = stream.apply([("+", 0, u), ("-", 0, u)])
+    print("\n--- streaming maintenance ---")
+    print(f"triangles watched: {tri.count} "
+          f"(insert/delete round-trip delta {delta.deltas[tri.name]:+d})")
+    assert stream.counts() == stream.expected_counts()
+
 
 if __name__ == "__main__":
     main()

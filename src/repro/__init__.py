@@ -36,6 +36,8 @@ from repro.runtime.distributed import (
     DistributedReport,
     distributed_count_ctx,
 )
+from repro.graph.dynamic import DynamicGraph
+from repro.streaming import StreamReport, StreamSession, WatchHandle
 
 __version__ = "1.0.0"
 
@@ -73,5 +75,9 @@ __all__ = [
     "DistributedBackend",
     "DistributedReport",
     "distributed_count_ctx",
+    "DynamicGraph",
+    "StreamReport",
+    "StreamSession",
+    "WatchHandle",
     "__version__",
 ]

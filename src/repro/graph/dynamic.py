@@ -11,7 +11,10 @@ incrementally."*  This module makes that sentence concrete:
   triangles, O(1) amortised for the rest, with max-degree recomputed
   lazily after deletions that lower the previous maximum);
 * ``snapshot()`` — freeze into the immutable CSR :class:`Graph` the
-  matching engine requires;
+  matching engine requires, memoised per mutation :attr:`version` so a
+  quiescent graph never pays the O(|V|+|E|) rebuild twice (and the
+  session registry keyed by object identity keeps hitting its plan
+  cache);
 * ``stats()`` — a :class:`GraphStats` built from the incremental
   counters in O(1), so replanning after a batch of updates never
   rescans the graph.
@@ -47,6 +50,8 @@ class DynamicGraph:
         self._adj: list[set[int]] = [set() for _ in range(n_vertices)]
         self._n_edges = 0
         self._triangles = 0
+        self._version = 0
+        self._snapshot_cache: tuple[int, str, Graph] | None = None
         # max degree is maintained as an upper bound; recomputed lazily
         # when a deletion might have lowered the true maximum.
         self._max_degree = 0
@@ -71,6 +76,17 @@ class DynamicGraph:
         return self._triangles
 
     @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every successful structural change.
+
+        Rejected updates (duplicate edge, self-loop, missing deletion)
+        leave it untouched, so equal versions guarantee an identical
+        graph — the invariant the memoised :meth:`snapshot` and the
+        streaming adjacency caches rely on.
+        """
+        return self._version
+
+    @property
     def max_degree(self) -> int:
         if not self._max_degree_valid:
             self._max_degree = max((len(a) for a in self._adj), default=0)
@@ -86,6 +102,17 @@ class DynamicGraph:
         self._check_vertex(v)
         return set(self._adj[v])
 
+    def neighbors_view(self, v: int) -> set[int]:
+        """v's live neighbour set, no copy — callers must not mutate it.
+
+        The streaming delta executor intersects neighbourhoods on every
+        update; copying each set per probe (what :meth:`neighbors` does
+        for safety) would dominate its cost.  Treat the result as
+        read-only and do not hold it across mutations.
+        """
+        self._check_vertex(v)
+        return self._adj[v]
+
     def has_edge(self, u: int, v: int) -> bool:
         self._check_vertex(u)
         self._check_vertex(v)
@@ -100,9 +127,15 @@ class DynamicGraph:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        """Record a successful structural change (called *after* it)."""
+        self._version += 1
+        self._snapshot_cache = None
+
     def add_vertex(self) -> int:
         """Append an isolated vertex; returns its id."""
         self._adj.append(set())
+        self._mutated()
         return len(self._adj) - 1
 
     def add_edge(self, u: int, v: int) -> int:
@@ -127,6 +160,7 @@ class DynamicGraph:
         new_deg = max(len(a), len(b))
         if new_deg > self._max_degree:
             self._max_degree = new_deg
+        self._mutated()
         return closed
 
     def remove_edge(self, u: int, v: int) -> int:
@@ -147,13 +181,24 @@ class DynamicGraph:
             self._max_degree_valid = False
         if self._max_degree_valid and len(b) + 1 == self._max_degree:
             self._max_degree_valid = False
+        self._mutated()
         return opened
 
     # ------------------------------------------------------------------
     # freezing
     # ------------------------------------------------------------------
     def snapshot(self, name: str = "") -> Graph:
-        """Freeze into the immutable CSR graph the engine consumes."""
+        """Freeze into the immutable CSR graph the engine consumes.
+
+        Memoised on :attr:`version`: repeated calls with no intervening
+        mutation return the *same* :class:`Graph` object, so downstream
+        identity-keyed caches (the per-graph session registry and its
+        plan cache) keep hitting.  Any successful mutation invalidates
+        the memo; a different ``name`` rebuilds it.
+        """
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == self._version and cached[1] == name:
+            return cached[2]
         n = self.n_vertices
         indptr = np.zeros(n + 1, dtype=np.int64)
         for v in range(n):
@@ -162,7 +207,9 @@ class DynamicGraph:
         for v in range(n):
             row = sorted(self._adj[v])
             indices[indptr[v] : indptr[v + 1]] = row
-        return Graph(indptr, indices, name=name)
+        graph = Graph(indptr, indices, name=name)
+        self._snapshot_cache = (self._version, name, graph)
+        return graph
 
     def stats(self) -> GraphStats:
         """O(1) statistics from the incremental counters.

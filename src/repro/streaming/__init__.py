@@ -1,0 +1,46 @@
+"""Streaming subsystem: exact pattern counts under edge churn.
+
+``StreamSession`` maintains the counts of watched plain-mode queries
+across edge insertions and deletions without full recounts, by
+enumerating only the embeddings through each updated edge — anchored
+sub-plans whose exactly-once guarantee comes from running GraphPi's
+Algorithm 1 against the anchor-stabilising automorphism subgroup.  See
+:mod:`repro.streaming.delta_plan` for the derivation and
+``docs/architecture.md`` ("Streaming maintenance") for the guide.
+"""
+
+from repro.streaming.churn import random_churn
+from repro.streaming.delta_plan import (
+    AnchoredPlan,
+    DeltaPlan,
+    build_delta_plan,
+    clear_delta_plans,
+    dart_orbits,
+    delta_plan_for,
+)
+from repro.streaming.executor import DeltaExecutor
+from repro.streaming.session import (
+    EdgeUpdate,
+    StreamReport,
+    StreamSession,
+    WatchHandle,
+    WatchReport,
+    read_churn_file,
+)
+
+__all__ = [
+    "AnchoredPlan",
+    "DeltaPlan",
+    "build_delta_plan",
+    "clear_delta_plans",
+    "dart_orbits",
+    "delta_plan_for",
+    "DeltaExecutor",
+    "EdgeUpdate",
+    "StreamReport",
+    "StreamSession",
+    "WatchHandle",
+    "WatchReport",
+    "random_churn",
+    "read_churn_file",
+]

@@ -1,0 +1,68 @@
+"""Deterministic random edge churn — shared by bench, tests and demos.
+
+One generator, three consumers (``benchmarks/bench_streaming.py``, the
+streaming property tests, ``examples/streaming_counts.py``), so the
+churn they exercise can never silently diverge.  The sequence is valid
+for sequential application by construction: presence is simulated as
+edges are drawn, deletes sample only existing edges (O(1) swap-pop,
+not a sort per draw) and inserts only absent pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.csr import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.streaming.session import EdgeUpdate
+
+
+def random_churn(
+    graph: DynamicGraph | Graph,
+    n_updates: int,
+    *,
+    seed: int,
+    insert_bias: float = 0.6,
+) -> list[EdgeUpdate]:
+    """A valid mixed insert/delete sequence against ``graph``'s edge set.
+
+    ``insert_bias`` is the probability of drawing an insert while both
+    moves are possible (deletes need a live edge, inserts a free pair);
+    the default 60/40 bias keeps deletions supplied with material.  The
+    graph itself is not touched — the returned list is what callers
+    feed to :meth:`StreamSession.apply` (whole, or sliced into batches).
+    """
+    n = graph.n_vertices
+    if n < 2:
+        raise ValueError("churn needs a graph with at least two vertices")
+    rng = random.Random(seed)
+    present = sorted((int(u), int(v)) for u, v in graph.edges())
+    index = {e: i for i, e in enumerate(present)}
+    full = n * (n - 1) // 2
+    updates: list[EdgeUpdate] = []
+    for _ in range(n_updates):
+        can_delete = bool(present)
+        can_insert = len(present) < full
+        if not can_delete and not can_insert:  # pragma: no cover - n < 2 only
+            raise ValueError("graph admits neither inserts nor deletes")
+        if can_delete and (not can_insert or rng.random() >= insert_bias):
+            i = rng.randrange(len(present))
+            edge = present[i]
+            last = present.pop()
+            if i < len(present):
+                present[i] = last
+                index[last] = i
+            del index[edge]
+            updates.append(EdgeUpdate("-", *edge))
+        else:
+            while True:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                edge = (u, v) if u < v else (v, u)
+                if edge not in index:
+                    break
+            index[edge] = len(present)
+            present.append(edge)
+            updates.append(EdgeUpdate("+", *edge))
+    return updates

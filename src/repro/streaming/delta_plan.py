@@ -1,0 +1,274 @@
+"""Delta planning: anchored sub-plans that count through one data edge.
+
+The streaming invariant this module serves: after inserting edge
+``{a, b}`` into a data graph, the pattern count changes by exactly the
+number of distinct embeddings that *use* that edge (under edge
+semantics an embedding not using it exists before and after); deleting
+``{a, b}`` removes exactly the embeddings using it in the pre-deletion
+graph.  So incremental maintenance reduces to one primitive — *count
+the embeddings through a given data edge, each exactly once* — and
+GraphPi's redundancy-elimination machinery (paper §IV-A) is precisely
+what makes the "exactly once" part cheap.
+
+The derivation (the docstring the tests pin):
+
+* A *dart* is an ordered pattern edge ``(u, v)``.  For any injective
+  homomorphism ``f`` whose image contains the data edge ``{a, b}``,
+  exactly **one** dart satisfies ``f(u) = a, f(v) = b`` — distinct
+  pattern edges map to distinct data edges, and an edge has two darts
+  but only one matches the orientation.  Summing anchored counts
+  ``N'_(u,v)(a, b) = |{f : f(u)=a, f(v)=b}|`` over all darts therefore
+  counts every such homomorphism exactly once, and dividing by
+  ``|Aut|`` turns homomorphisms into distinct embeddings.
+* The automorphism group acts on darts; anchored counts are constant on
+  each orbit (composing with an automorphism bijects the anchored
+  homomorphism sets).  Picking one representative dart ``(u0, v0)`` per
+  orbit: ``Σ_orbit N' = (|Aut| / |Stab|) · N'_(u0,v0)`` where ``Stab``
+  is the **pointwise stabiliser** of ``u0`` and ``v0``.  The ``|Aut|``
+  factors cancel, leaving
+
+      Δ = Σ_{dart orbits}  N'_(u0,v0)(a, b) / |Stab(u0, v0)|
+
+* ``N' / |Stab|`` is the number of ``Stab``-orbits of anchored
+  homomorphisms — so running Algorithm 1
+  (:class:`repro.core.restrictions.RestrictionGenerator`) against the
+  *stabiliser subgroup* yields restriction sets under which each
+  anchored embedding is enumerated exactly once, no division at all.
+  Because the stabiliser fixes both anchors, every generated
+  restriction compares only free vertices (a 2-cycle of a permutation
+  never involves its fixed points), which is what lets the executor
+  evaluate them as plain id-range bounds on candidate sets.
+
+Each :class:`AnchoredPlan` is the compiled form of one orbit
+representative: the anchors, a connectivity-greedy order over the free
+pattern vertices, per-depth dependencies split into anchor/free parts,
+and the restriction bounds resolved to loop depths exactly like
+:func:`repro.core.config.compile_plan` does for full plans.  Plans are
+pattern-level objects cached by the same structural fingerprint
+component :class:`repro.core.query.MatchQuery` feeds the
+``MatchSession`` plan cache, so every ``StreamSession`` watching the
+same pattern shares one :class:`DeltaPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.restrictions import Restriction, RestrictionGenerator
+from repro.pattern.automorphism import automorphisms, pointwise_stabilizer
+from repro.pattern.pattern import Pattern
+from repro.pattern.permutation import Perm
+
+#: an ordered pattern edge; ``(u, v)`` anchors u -> a, v -> b.
+Dart = tuple[int, int]
+
+
+def dart_orbits(pattern: Pattern, auts: list[Perm] | None = None) -> list[list[Dart]]:
+    """Orbits of the automorphism group acting on ordered pattern edges.
+
+    ``σ · (u, v) = (σ(u), σ(v))``; each orbit is sorted and the orbit
+    list is sorted by its minimum, so representatives (``orbit[0]``) are
+    deterministic.  The orbit sizes always sum to ``2 · |E_P|``.
+    """
+    if auts is None:
+        auts = automorphisms(pattern)
+    darts = [(u, v) for u, v in pattern.edges] + [(v, u) for u, v in pattern.edges]
+    seen: set[Dart] = set()
+    orbits: list[list[Dart]] = []
+    for d in sorted(darts):
+        if d in seen:
+            continue
+        orbit = sorted({(sigma[d[0]], sigma[d[1]]) for sigma in auts})
+        seen.update(orbit)
+        orbits.append(orbit)
+    return sorted(orbits)
+
+
+def _free_vertex_order(pattern: Pattern, dart: Dart) -> tuple[int, ...]:
+    """Connectivity-greedy enumeration order for the non-anchored vertices.
+
+    Most-constrained-first: repeatedly place the free vertex with the
+    most already-placed pattern neighbours (ties: higher pattern degree,
+    then lower id).  On a connected pattern every free vertex has at
+    least one placed neighbour when chosen, so no anchored loop ever
+    scans the whole vertex set — the streaming analogue of the paper's
+    phase-1 connected-prefix rule.
+    """
+    placed = {dart[0], dart[1]}
+    free = [v for v in range(pattern.n_vertices) if v not in placed]
+    degrees = pattern.degrees
+    order: list[int] = []
+    while free:
+        best = max(
+            free,
+            key=lambda v: (
+                sum(1 for p in placed if pattern.has_edge(v, p)),
+                degrees[v],
+                -v,
+            ),
+        )
+        order.append(best)
+        placed.add(best)
+        free.remove(best)
+    return tuple(order)
+
+
+@dataclass(frozen=True)
+class AnchoredPlan:
+    """One orbit representative, compiled for anchored enumeration.
+
+    Depth ``i`` binds ``order[i]``; its candidate set is the
+    intersection of the anchors' neighbourhoods flagged by
+    ``anchor_deps[i]`` (``(use_a, use_b)``) with the neighbourhoods of
+    the earlier free depths in ``free_deps[i]``, windowed by the
+    restriction bounds ``lower[i]``/``upper[i]`` (earlier free depths
+    whose bound value the candidate must exceed / stay below) — the
+    same compiled shape :class:`repro.core.config.ExecutionPlan` uses,
+    minus the two loops the anchor replaces.
+    """
+
+    dart: Dart
+    orbit_size: int
+    order: tuple[int, ...]
+    anchor_deps: tuple[tuple[bool, bool], ...]
+    free_deps: tuple[tuple[int, ...], ...]
+    lower: tuple[tuple[int, ...], ...]
+    upper: tuple[tuple[int, ...], ...]
+    restrictions: frozenset[Restriction]
+
+    @property
+    def n_free(self) -> int:
+        return len(self.order)
+
+    def describe(self) -> str:
+        res = ", ".join(f"id({g})>id({s})" for g, s in sorted(self.restrictions))
+        return (
+            f"dart {self.dart} (orbit x{self.orbit_size}) "
+            f"order={list(self.order)} restrictions=[{res}]"
+        )
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """Everything needed to count embeddings through one data edge."""
+
+    pattern: Pattern
+    anchored: tuple[AnchoredPlan, ...]
+    n_automorphisms: int
+
+    def describe(self) -> str:
+        name = self.pattern.name or repr(self.pattern)
+        parts = "; ".join(p.describe() for p in self.anchored)
+        return (
+            f"delta plan for {name}: {len(self.anchored)} anchored sub-plans "
+            f"(|Aut|={self.n_automorphisms}) — {parts}"
+        )
+
+
+def _choose_restrictions(
+    pattern: Pattern, stab: list[Perm], order: tuple[int, ...]
+) -> frozenset[Restriction]:
+    """Pick the stabiliser-breaking restriction set that prunes earliest.
+
+    Algorithm 1 generally produces several valid sets (GraphPi's core
+    observation); for anchored enumeration the cheapest is the one whose
+    range windows apply at the shallowest loop depths, so the score sums
+    ``n_free - depth`` over each restriction's later endpoint.  Ties
+    fall back to generator order (smallest set first).
+    """
+    if len(stab) == 1:
+        return frozenset()
+    position = {v: i for i, v in enumerate(order)}
+    sets = RestrictionGenerator(pattern, auts=stab, max_sets=64).generate()
+    n_free = len(order)
+
+    def score(res_set: frozenset[Restriction]) -> int:
+        return sum(n_free - max(position[g], position[s]) for g, s in res_set)
+
+    return max(sets, key=score)
+
+
+def _compile_anchored(pattern: Pattern, dart: Dart, orbit_size: int,
+                      auts: list[Perm]) -> AnchoredPlan:
+    u0, v0 = dart
+    order = _free_vertex_order(pattern, dart)
+    stab = pointwise_stabilizer(auts, [u0, v0])
+    restrictions = _choose_restrictions(pattern, stab, order)
+    position = {v: i for i, v in enumerate(order)}
+
+    anchor_deps = tuple(
+        (pattern.has_edge(v, u0), pattern.has_edge(v, v0)) for v in order
+    )
+    free_deps = tuple(
+        tuple(
+            j for j in range(i) if pattern.has_edge(order[i], order[j])
+        )
+        for i in range(len(order))
+    )
+    lower: list[list[int]] = [[] for _ in order]
+    upper: list[list[int]] = [[] for _ in order]
+    for g, s in restrictions:
+        # The stabiliser fixes both anchors, so Algorithm 1 run against
+        # it can only emit restrictions between free vertices.
+        if g not in position or s not in position:
+            raise AssertionError(
+                f"stabiliser restriction ({g},{s}) touches an anchor of {dart}"
+            )
+        pg, ps = position[g], position[s]
+        if pg > ps:
+            lower[pg].append(ps)
+        else:
+            upper[ps].append(pg)
+    return AnchoredPlan(
+        dart=dart,
+        orbit_size=orbit_size,
+        order=order,
+        anchor_deps=anchor_deps,
+        free_deps=free_deps,
+        lower=tuple(tuple(sorted(x)) for x in lower),
+        upper=tuple(tuple(sorted(x)) for x in upper),
+        restrictions=restrictions,
+    )
+
+
+def build_delta_plan(pattern: Pattern) -> DeltaPlan:
+    """One anchored sub-plan per dart orbit (uncached; see :func:`delta_plan_for`)."""
+    if not pattern.is_connected():
+        raise ValueError("delta maintenance requires a connected pattern")
+    if pattern.n_edges < 1:
+        raise ValueError(
+            "delta maintenance needs a pattern with at least one edge "
+            "(edge updates cannot change a single-vertex count)"
+        )
+    auts = automorphisms(pattern)
+    anchored = tuple(
+        _compile_anchored(pattern, orbit[0], len(orbit), auts)
+        for orbit in dart_orbits(pattern, auts)
+    )
+    return DeltaPlan(pattern=pattern, anchored=anchored, n_automorphisms=len(auts))
+
+
+#: structural fingerprint -> DeltaPlan; the key is the same structure
+#: component MatchQuery.fingerprint carries, so any two queries the
+#: MatchSession plan cache would treat as the same pattern share one
+#: delta plan here too.
+_DELTA_PLANS: dict[tuple, DeltaPlan] = {}
+
+
+def _structure_key(pattern: Pattern) -> tuple:
+    return ("plain", pattern.n_vertices, tuple(pattern.edges))
+
+
+def delta_plan_for(pattern: Pattern) -> DeltaPlan:
+    """The cached delta plan for a pattern (planning on first sight)."""
+    key = _structure_key(pattern)
+    plan = _DELTA_PLANS.get(key)
+    if plan is None:
+        plan = build_delta_plan(pattern)
+        _DELTA_PLANS[key] = plan
+    return plan
+
+
+def clear_delta_plans() -> None:
+    """Drop the process-wide delta-plan cache (test isolation)."""
+    _DELTA_PLANS.clear()

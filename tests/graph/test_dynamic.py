@@ -132,6 +132,66 @@ class TestSnapshotAndStats:
         assert count_pattern(dyn.snapshot(), triangle(), use_iep=False) == 2
 
 
+class TestSnapshotMemo:
+    """snapshot() is memoised on the mutation version counter."""
+
+    def test_repeated_snapshot_is_same_object(self):
+        dyn = DynamicGraph.from_graph(erdos_renyi(25, 0.2, seed=3))
+        assert dyn.snapshot() is dyn.snapshot()
+
+    def test_add_edge_invalidates(self):
+        dyn = DynamicGraph(4, [(0, 1), (1, 2)])
+        first = dyn.snapshot()
+        dyn.add_edge(0, 3)
+        second = dyn.snapshot()
+        assert second is not first
+        assert second.n_edges == 3
+        assert second is dyn.snapshot()
+
+    def test_remove_edge_invalidates(self):
+        dyn = DynamicGraph(4, [(0, 1), (1, 2)])
+        first = dyn.snapshot()
+        dyn.remove_edge(1, 2)
+        assert dyn.snapshot() is not first
+        assert dyn.snapshot().n_edges == 1
+
+    def test_add_vertex_invalidates(self):
+        dyn = DynamicGraph(3, [(0, 1)])
+        first = dyn.snapshot()
+        dyn.add_vertex()
+        assert dyn.snapshot() is not first
+        assert dyn.snapshot().n_vertices == 4
+
+    def test_rejected_mutation_keeps_memo(self):
+        dyn = DynamicGraph(3, [(0, 1)])
+        first = dyn.snapshot()
+        version = dyn.version
+        with pytest.raises(KeyError):
+            dyn.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            dyn.remove_edge(1, 2)
+        with pytest.raises(ValueError):
+            dyn.add_edge(2, 2)
+        assert dyn.version == version
+        assert dyn.snapshot() is first
+
+    def test_version_counts_successful_mutations(self):
+        dyn = DynamicGraph(3)
+        v0 = dyn.version
+        dyn.add_edge(0, 1)
+        dyn.add_vertex()
+        dyn.remove_edge(0, 1)
+        assert dyn.version == v0 + 3
+
+    def test_name_change_rebuilds(self):
+        dyn = DynamicGraph(3, [(0, 1)])
+        anon = dyn.snapshot()
+        named = dyn.snapshot(name="churn")
+        assert named is not anon
+        assert named.name == "churn"
+        assert dyn.snapshot(name="churn") is named
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(

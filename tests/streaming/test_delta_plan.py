@@ -1,0 +1,155 @@
+"""Delta planner: dart orbits, stabiliser restrictions, anchored shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.restrictions import surviving_permutations
+from repro.pattern.automorphism import automorphisms, pointwise_stabilizer
+from repro.pattern.catalog import (
+    clique,
+    cycle_6_tri,
+    hourglass,
+    house,
+    path,
+    pentagon,
+    rectangle,
+    star,
+    triangle,
+)
+from repro.pattern.pattern import Pattern
+from repro.streaming.delta_plan import (
+    build_delta_plan,
+    clear_delta_plans,
+    dart_orbits,
+    delta_plan_for,
+)
+
+CATALOG = {
+    "triangle": triangle,
+    "rectangle": rectangle,
+    "house": house,
+    "pentagon": pentagon,
+    "clique-4": lambda: clique(4),
+    "path-4": lambda: path(4),
+    "star-3": lambda: star(3),
+    "hourglass": hourglass,
+    "cycle-6-tri": cycle_6_tri,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+class TestDartOrbits:
+    def test_orbits_partition_all_darts(self, name):
+        pattern = CATALOG[name]()
+        orbits = dart_orbits(pattern)
+        darts = [d for orbit in orbits for d in orbit]
+        assert len(darts) == 2 * pattern.n_edges
+        assert len(set(darts)) == len(darts)
+        for u, v in darts:
+            assert pattern.has_edge(u, v)
+
+    def test_orbit_sizes_divide_group_order(self, name):
+        pattern = CATALOG[name]()
+        n_aut = len(automorphisms(pattern))
+        for orbit in dart_orbits(pattern):
+            assert n_aut % len(orbit) == 0
+
+    def test_orbit_stabilizer_identity(self, name):
+        """|orbit| * |pointwise stabiliser of the representative| = |Aut|."""
+        pattern = CATALOG[name]()
+        auts = automorphisms(pattern)
+        for orbit in dart_orbits(pattern):
+            u0, v0 = orbit[0]
+            stab = pointwise_stabilizer(auts, [u0, v0])
+            assert len(orbit) * len(stab) == len(auts)
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+class TestAnchoredPlans:
+    def test_one_sub_plan_per_orbit(self, name):
+        pattern = CATALOG[name]()
+        plan = build_delta_plan(pattern)
+        orbits = dart_orbits(pattern)
+        assert len(plan.anchored) == len(orbits)
+        assert [ap.dart for ap in plan.anchored] == [o[0] for o in orbits]
+        assert [ap.orbit_size for ap in plan.anchored] == [len(o) for o in orbits]
+
+    def test_order_covers_free_vertices_connectedly(self, name):
+        pattern = CATALOG[name]()
+        for ap in build_delta_plan(pattern).anchored:
+            u0, v0 = ap.dart
+            assert sorted((u0, v0, *ap.order)) == list(range(pattern.n_vertices))
+            # every depth depends on at least one already-bound vertex,
+            # so no anchored loop scans the whole vertex set
+            for depth in range(ap.n_free):
+                assert any(ap.anchor_deps[depth]) or ap.free_deps[depth]
+
+    def test_deps_mirror_pattern_adjacency(self, name):
+        pattern = CATALOG[name]()
+        for ap in build_delta_plan(pattern).anchored:
+            u0, v0 = ap.dart
+            for depth, vertex in enumerate(ap.order):
+                use_a, use_b = ap.anchor_deps[depth]
+                assert use_a == pattern.has_edge(vertex, u0)
+                assert use_b == pattern.has_edge(vertex, v0)
+                expected = tuple(
+                    j for j in range(depth)
+                    if pattern.has_edge(vertex, ap.order[j])
+                )
+                assert ap.free_deps[depth] == expected
+
+    def test_restrictions_break_the_stabiliser(self, name):
+        """Only the identity survives each plan's restriction set, and no
+        restriction ever touches an anchor — the exactly-once argument."""
+        pattern = CATALOG[name]()
+        auts = automorphisms(pattern)
+        for ap in build_delta_plan(pattern).anchored:
+            u0, v0 = ap.dart
+            stab = pointwise_stabilizer(auts, [u0, v0])
+            assert len(surviving_permutations(stab, ap.restrictions)) == 1
+            for g, s in ap.restrictions:
+                assert g not in (u0, v0)
+                assert s not in (u0, v0)
+
+    def test_restriction_bounds_resolved_to_depths(self, name):
+        pattern = CATALOG[name]()
+        for ap in build_delta_plan(pattern).anchored:
+            position = {v: i for i, v in enumerate(ap.order)}
+            resolved = set()
+            for g, s in ap.restrictions:
+                pg, ps = position[g], position[s]
+                if pg > ps:
+                    assert ps in ap.lower[pg]
+                else:
+                    assert pg in ap.upper[ps]
+                resolved.add((g, s))
+            n_bounds = sum(len(x) for x in ap.lower) + sum(len(x) for x in ap.upper)
+            assert n_bounds == len(resolved)
+
+
+class TestPlanCache:
+    def test_same_structure_shares_one_plan(self):
+        clear_delta_plans()
+        a = delta_plan_for(triangle())
+        b = delta_plan_for(Pattern(3, [(0, 1), (0, 2), (1, 2)], name="other"))
+        assert a is b
+        clear_delta_plans()
+        assert delta_plan_for(triangle()) is not a
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            build_delta_plan(Pattern(4, [(0, 1), (2, 3)]))
+
+    def test_single_edge_pattern(self):
+        """The 2-vertex pattern: one orbit, no free vertices, delta 1."""
+        plan = build_delta_plan(Pattern(2, [(0, 1)], name="edge"))
+        assert len(plan.anchored) == 1
+        assert plan.anchored[0].n_free == 0
+
+    def test_describe_mentions_every_dart(self):
+        plan = build_delta_plan(house())
+        text = plan.describe()
+        assert "house" in text
+        for ap in plan.anchored:
+            assert str(ap.dart) in text

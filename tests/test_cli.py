@@ -276,3 +276,85 @@ class TestBackendFlags:
     def test_backend_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["count", "--backend", "warp-drive"])
+
+
+class TestStreamCommand:
+    @staticmethod
+    def _churn_file(tmp_path, lines):
+        f = tmp_path / "churn.txt"
+        f.write_text("\n".join(lines) + "\n")
+        return str(f)
+
+    @staticmethod
+    def _free_edges(scale=0.05, seed=3, k=6):
+        from repro import load_dataset
+
+        g = load_dataset("wiki-vote", scale=scale, seed=seed)
+        free = []
+        for u in range(g.n_vertices):
+            for v in range(u + 1, g.n_vertices):
+                if not g.has_edge(u, v):
+                    free.append((u, v))
+                    if len(free) == k:
+                        return free
+        return free
+
+    def test_stream_replay_verifies(self, tmp_path, capsys):
+        free = self._free_edges()
+        lines = [f"+ {u} {v}" for u, v in free[:4]]
+        lines += [f"- {u} {v}" for u, v in free[:2]]
+        churn = self._churn_file(tmp_path, ["# churn"] + lines)
+        rc = main(["stream", "--file", churn, "--pattern", "triangle,house",
+                   "--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3",
+                   "--batch", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "incremental maintenance replay" in out
+        assert "triangle" in out and "house" in out
+        assert "verify:  all 2 maintained counts" in out
+
+    def test_stream_counts_match_count_command(self, tmp_path, capsys):
+        (u, v), *_ = self._free_edges(k=1)
+        churn = self._churn_file(tmp_path, [f"+ {u} {v}", f"- {u} {v}"])
+        rc = main(["stream", "--file", churn, "--pattern", "triangle",
+                   "--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # the built-in verification already asserts maintained == recount;
+        # here we pin the initial count against the count command (the
+        # insert-then-delete churn is net zero).
+        initial = int(out.split("initial count")[1].split()[0])
+        assert "verify:" in out
+
+        main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+              "--scale", "0.05", "--seed", "3"])
+        shown = int(capsys.readouterr().out.split("count:")[1].split()[0])
+        assert initial == shown
+
+    def test_stream_rejects_invalid_update(self, tmp_path, capsys):
+        churn = self._churn_file(tmp_path, ["- 0 0"])
+        rc = main(["stream", "--file", churn, "--dataset", "wiki-vote",
+                   "--scale", "0.05"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_rejects_malformed_file(self, tmp_path, capsys):
+        churn = self._churn_file(tmp_path, ["+ 1"])
+        rc = main(["stream", "--file", churn, "--dataset", "wiki-vote",
+                   "--scale", "0.05"])
+        assert rc == 2
+        assert "expected 'OP U V'" in capsys.readouterr().err
+
+    def test_stream_rejects_unknown_pattern(self, tmp_path, capsys):
+        churn = self._churn_file(tmp_path, ["+ 0 1"])
+        rc = main(["stream", "--file", churn, "--pattern", "warp-drive",
+                   "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_rejects_bad_batch(self, tmp_path, capsys):
+        churn = self._churn_file(tmp_path, ["+ 0 1"])
+        rc = main(["stream", "--file", churn, "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--batch", "0"])
+        assert rc == 2
+        assert "--batch" in capsys.readouterr().err

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.api import count_pattern, match_pattern
+from repro.core.api import count_pattern, match_pattern, match_query
 from repro.core.backend import available_backends, get_backend
+from repro.core.query import MatchQuery
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import erdos_renyi, random_power_law
+from repro.graph.labeled import assign_random_labels
 from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+from repro.pattern.labeled import LabeledPattern
 
 # ---------------------------------------------------------------------------
 # the pinned workload
@@ -78,6 +81,44 @@ GOLDEN = {
     },
 }
 
+#: the labeled workload: data labels are i.i.d. from a 2-letter
+#: alphabet (seed 7), pattern vertices alternate labels (i % 2).  The
+#: er-40 goldens are verified against a label-filtered brute-force
+#: oracle (label-compatible injective homomorphisms divided by the
+#: label-preserving automorphism count); the larger graphs are pinned
+#: from the interpreter and cross-checked by every labeled-capable
+#: backend here.
+LABEL_ALPHABET = 2
+LABEL_SEED = 7
+
+LABELED_PATTERN_BUILDERS = {
+    "triangle": triangle,
+    "rectangle": rectangle,
+    "house": house,
+}
+
+LABELED_GOLDEN = {
+    "er-40": {"triangle": 50, "rectangle": 107, "house": 453},
+    "powerlaw-150": {"triangle": 200, "rectangle": 586, "house": 8305},
+    "wiki-vote-0.1": {"triangle": 423, "rectangle": 1510, "house": 22150},
+}
+
+#: vertex-induced (§V-A) golden counts: interpreter-produced,
+#: brute-force-verified on er-40 via bruteforce_induced_count.  The
+#: induced triangle equals the plain triangle by construction (a
+#: 3-clique has no non-edges) — kept as a cross-matrix consistency row.
+INDUCED_PATTERN_BUILDERS = {
+    "triangle": triangle,
+    "rectangle": rectangle,
+    "house": house,
+}
+
+INDUCED_GOLDEN = {
+    "er-40": {"triangle": 153, "rectangle": 476, "house": 2410},
+    "powerlaw-150": {"triangle": 470, "rectangle": 951, "house": 7581},
+    "wiki-vote-0.1": {"triangle": 891, "rectangle": 2416, "house": 22990},
+}
+
 #: constructor overrides for backends whose defaults are too heavy for
 #: a conformance matrix (a future backend needs an entry only if its
 #: defaults are unsuitable; absence means "instantiate by name").
@@ -104,6 +145,23 @@ def conformance_graph(name: str):
     if name not in _GRAPH_CACHE:
         _GRAPH_CACHE[name] = GRAPH_BUILDERS[name]()
     return _GRAPH_CACHE[name]
+
+
+def labeled_conformance_graph(name: str):
+    """The labeled twin of :func:`conformance_graph` (same sharing)."""
+    key = f"labeled:{name}"
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = assign_random_labels(
+            conformance_graph(name), LABEL_ALPHABET, seed=LABEL_SEED
+        )
+    return _GRAPH_CACHE[key]
+
+
+def labeled_pattern(pname: str) -> LabeledPattern:
+    base = LABELED_PATTERN_BUILDERS[pname]()
+    return LabeledPattern(
+        base, tuple(i % LABEL_ALPHABET for i in range(base.n_vertices))
+    )
 
 
 def backend_spec(name: str):
@@ -133,9 +191,59 @@ class TestGoldenCounts:
         )
 
     def test_goldens_cover_the_full_matrix(self):
-        assert set(GOLDEN) == set(GRAPH_BUILDERS)
-        for gname, per_pattern in GOLDEN.items():
-            assert set(per_pattern) == set(PATTERN_BUILDERS), gname
+        for golden, builders in (
+            (GOLDEN, PATTERN_BUILDERS),
+            (LABELED_GOLDEN, LABELED_PATTERN_BUILDERS),
+            (INDUCED_GOLDEN, INDUCED_PATTERN_BUILDERS),
+        ):
+            assert set(golden) == set(GRAPH_BUILDERS)
+            for gname, per_pattern in golden.items():
+                assert set(per_pattern) == set(builders), gname
+
+
+class TestLabeledGoldenCounts:
+    """Labeled matching: every labeled-capable backend, pinned counts."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("gname", sorted(GRAPH_BUILDERS))
+    @pytest.mark.parametrize("pname", sorted(LABELED_PATTERN_BUILDERS))
+    def test_pinned_labeled_count(self, backend, gname, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("labeled"):
+            pytest.skip(f"backend {backend!r} does not cover labeled matching")
+        graph = labeled_conformance_graph(gname)
+        query = MatchQuery(labeled_pattern(pname))
+        got = int(match_query(graph, query, backend=backend_spec(backend)))
+        assert got == LABELED_GOLDEN[gname][pname], (
+            f"backend {backend!r} returned {got} for labeled {pname} on "
+            f"{gname}; golden count is {LABELED_GOLDEN[gname][pname]}"
+        )
+
+
+class TestInducedGoldenCounts:
+    """Vertex-induced semantics: every induced-capable backend, pinned counts."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("gname", sorted(GRAPH_BUILDERS))
+    @pytest.mark.parametrize("pname", sorted(INDUCED_PATTERN_BUILDERS))
+    def test_pinned_induced_count(self, backend, gname, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("induced"):
+            pytest.skip(f"backend {backend!r} does not cover induced matching")
+        graph = conformance_graph(gname)
+        query = MatchQuery(
+            INDUCED_PATTERN_BUILDERS[pname](), semantics="induced"
+        )
+        got = int(match_query(graph, query, backend=backend_spec(backend)))
+        assert got == INDUCED_GOLDEN[gname][pname], (
+            f"backend {backend!r} returned {got} for induced {pname} on "
+            f"{gname}; golden count is {INDUCED_GOLDEN[gname][pname]}"
+        )
+
+    def test_induced_triangle_equals_plain(self):
+        """Cross-matrix consistency: a clique has no non-edges to forbid."""
+        for gname in GRAPH_BUILDERS:
+            assert INDUCED_GOLDEN[gname]["triangle"] == GOLDEN[gname]["triangle"]
 
 
 class TestEnumerationConformance:
