@@ -33,6 +33,14 @@ SHAPES = [
     ("balanced 1k/1k", 1000, 1000),
     ("skewed 50/5k", 50, 5000),
     ("skewed 5/50k", 5, 50000),
+    # the adaptive-dispatch regime: a single interpreted probe into a
+    # small row undercuts the vectorised kernel's fixed call overhead —
+    # this shape backs GALLOP_MAX_SMALL / GALLOP_RATIO / GALLOP_MAX_LARGE.
+    ("tiny probe 1/400", 1, 400),
+    # ... and the counter-example behind GALLOP_MAX_LARGE: however
+    # extreme the ratio, a huge row hands the win back to the C-level
+    # binary search (per-probe cost ~ns there vs ~100ns interpreted).
+    ("tiny/huge 8/100k", 8, 100000),
 ]
 
 
@@ -58,7 +66,12 @@ def test_ablation_intersection_kernels(benchmark, capsys):
         row = [wname]
         for kname, kernel in KERNELS:
             assert kernel(a, b).tolist() == expected
-            seconds, _ = time_call(lambda: [kernel(a, b) for _ in range(REPEATS)])
+            # best-of-N: the dispatch-threshold assertions below sit on
+            # ~15% margins, which a single sample cannot resolve.
+            seconds = min(
+                time_call(lambda: [kernel(a, b) for _ in range(REPEATS)])[0]
+                for _ in range(5)
+            )
             per_call = seconds / REPEATS
             results[(wname, kname)] = per_call
             row.append(format_seconds(per_call))
@@ -72,4 +85,15 @@ def test_ablation_intersection_kernels(benchmark, capsys):
     # balanced workload (this is the Python-vs-C++ constant inversion).
     assert results[("balanced 1k/1k", "searchsorted (default)")] < results[
         ("balanced 1k/1k", "merge (two-pointer)")
+    ]
+    # The thresholds behind ``intersect``'s adaptive dispatch, both
+    # directions: a single probe into a small row is galloping's regime
+    # (it skips the vectorised path's fixed call overhead) ...
+    assert results[("tiny probe 1/400", "galloping")] < results[
+        ("tiny probe 1/400", "searchsorted (default)")
+    ]
+    # ... while a huge row is not, however extreme the ratio — the
+    # measurement that sets GALLOP_MAX_LARGE.
+    assert results[("tiny/huge 8/100k", "searchsorted (default)")] < results[
+        ("tiny/huge 8/100k", "galloping")
     ]

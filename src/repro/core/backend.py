@@ -42,6 +42,8 @@ from typing import Any, Iterator
 
 from repro.core.codegen import (
     GeneratedCounter,
+    compile_induced_function,
+    compile_labeled_function,
     compile_plan_function,
     compile_prefix_function,
 )
@@ -363,23 +365,54 @@ class PreSliceBackend(ExecutionBackend):
         return PreSliceEngine(ctx.graph, ctx.plan).enumerate_embeddings(limit=limit)
 
 
+def compile_for_context(ctx: MatchContext) -> GeneratedCounter:
+    """Generate the kernel matching a context's semantics.
+
+    The single mode -> generator dispatch: the compiled backend and the
+    session's kernel cache both go through here, so a context is never
+    paired with a kernel of the wrong semantics.
+    """
+    if ctx.mode == "plain":
+        return compile_plan_function(ctx.plan)
+    if ctx.mode == "induced":
+        return compile_induced_function(ctx.plan)
+    if ctx.mode == "labeled":
+        return compile_labeled_function(ctx.plan, ctx.lpattern)
+    raise BackendUnsupportedError(
+        f"no kernel generator for mode {ctx.mode!r}"
+    )
+
+
 @register_backend
 class CompiledBackend(ExecutionBackend):
     """Generated specialised code (the paper's execution path); count only."""
 
     name = "compiled"
     capabilities = BackendCapabilities(
-        modes=frozenset({"plain"}), iep=True, generated_kernels=True
+        modes=frozenset({"plain", "induced", "labeled"}),
+        iep=True,
+        generated_kernels=True,
     )
 
     def supports(self, ctx: MatchContext) -> bool:
-        return ctx.mode == "plain" and isinstance(ctx.plan, ExecutionPlan)
+        if not isinstance(ctx.plan, ExecutionPlan):
+            return False
+        if ctx.mode == "plain":
+            return True
+        # Labeled/induced kernels are innermost-count variants: the IEP
+        # arithmetic assumes plain edge semantics, so an IEP-suffix plan
+        # must fall back (the session plans these IEP-free anyway).
+        return ctx.mode in ("induced", "labeled") and ctx.plan.iep_k == 0
 
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)
         generated = ctx.generated
-        if generated is None or generated.plan is not ctx.plan:
-            generated = compile_plan_function(ctx.plan)
+        if (
+            generated is None
+            or generated.plan is not ctx.plan
+            or generated.mode != ctx.mode
+        ):
+            generated = compile_for_context(ctx)
         return generated(ctx.graph)
 
 

@@ -31,18 +31,26 @@ import numpy as np
 from repro.core.config import ExecutionPlan
 from repro.core.iep import partition_coefficient, set_partitions
 from repro.graph.csr import Graph
-from repro.graph.intersection import bounded_slice, contains, intersect_many
+from repro.graph.intersection import bounded_slice, contains, difference, intersect_many
 
 
 @dataclass(frozen=True)
 class GeneratedCounter:
-    """A compiled counting function plus its source (for inspection)."""
+    """A compiled counting function plus its source (for inspection).
+
+    ``mode`` records the matching semantics the kernel was generated
+    for (``"plain"``/``"induced"``/``"labeled"``) — the backend uses it
+    to detect that a cached kernel does not fit the current context
+    (same plan object, different semantics) and must be regenerated.
+    Labeled kernels take a :class:`~repro.graph.labeled.LabeledGraph`.
+    """
 
     plan: ExecutionPlan
     source: str
     function: Callable[[Graph], int]
+    mode: str = "plain"
 
-    def __call__(self, graph: Graph) -> int:
+    def __call__(self, graph) -> int:
         return self.function(graph)
 
 
@@ -77,11 +85,38 @@ def _bounds_expr(plan: ExecutionPlan, depth: int, base: str) -> tuple[str | None
     return f"s{depth} = bounded_slice({base}, {lo}, {hi})", f"s{depth}"
 
 
+def _candidate_stmts(
+    plan: ExecutionPlan,
+    depth: int,
+    base: str,
+    depth_labels: tuple | None,
+    antideps: tuple | None,
+) -> tuple[list[str], str]:
+    """Return (stmts, var): restriction bounds, then the mode-specific
+    filters — label equality (labeled) and anti-edge differences
+    (induced).  Every stage preserves sortedness, so the innermost
+    ``contains`` corrections keep working on the final variable."""
+    stmts: list[str] = []
+    stmt, var = _bounds_expr(plan, depth, base)
+    if stmt:
+        stmts.append(stmt)
+    if depth_labels is not None:
+        stmts.append(f"l{depth} = {var}[labels[{var}] == {depth_labels[depth]}]")
+        var = f"l{depth}"
+    if antideps is not None:
+        for j in antideps[depth]:
+            stmts.append(f"x{depth} = difference({var}, nb{j})")
+            var = f"x{depth}"
+    return stmts, var
+
+
 def generate_source(
     plan: ExecutionPlan,
     func_name: str = "generated_count",
     *,
     split_depth: int = 0,
+    depth_labels: tuple | None = None,
+    antideps: tuple | None = None,
 ) -> str:
     """Emit the specialised counting function's Python source.
 
@@ -93,12 +128,29 @@ def generate_source(
     only the remaining inner loops are executed.  Prefix functions
     return the *raw* count — the IEP overcount divisor is applied once
     by the aggregator, mirroring ``Engine.count_prefix``.
+
+    ``depth_labels`` (one data-label per schedule position) switches the
+    kernel to labeled semantics — the function then takes a
+    :class:`~repro.graph.labeled.LabeledGraph` and filters every depth's
+    candidates by label.  ``antideps`` (per depth, the earlier columns
+    the pattern does *not* connect to) switches to vertex-induced
+    semantics — candidates adjacent to an anti-dependency are removed
+    with sorted ``difference``.  Both are innermost-count variants:
+    they require ``iep_k == 0`` and a whole-nest kernel.
     """
     n = plan.n
     n_loops = plan.n_loops
     if not 0 <= split_depth < n_loops:
         raise ValueError(
             f"split_depth must be in [0, {n_loops - 1}], got {split_depth}"
+        )
+    if depth_labels is not None and antideps is not None:
+        raise ValueError("labeled induced kernels are not supported")
+    if (depth_labels is not None or antideps is not None) and (
+        plan.iep_k > 0 or split_depth
+    ):
+        raise ValueError(
+            "labeled/induced kernels require iep_k == 0 and split_depth == 0"
         )
     indent = "    "
     lines: list[str] = []
@@ -109,12 +161,21 @@ def generate_source(
     emit(f'    """Generated for {plan.config.describe()}')
     if split_depth:
         emit(f"    Worker kernel: outermost {split_depth} loops bound by prefix.")
+    if depth_labels is not None:
+        emit(f"    Labeled kernel: per-depth labels {depth_labels}.")
+    if antideps is not None:
+        emit("    Vertex-induced kernel: anti-edges excluded per depth.")
     if plan.iep_k:
         emit(f"    IEP over the innermost {plan.iep_k} loops; overcount divisor "
              f"{plan.iep_overcount}.")
     emit('    """')
-    emit("    indptr = graph.indptr")
-    emit("    indices = graph.indices")
+    if depth_labels is not None:
+        emit("    indptr = graph.graph.indptr")
+        emit("    indices = graph.graph.indices")
+        emit("    labels = graph.labels")
+    else:
+        emit("    indptr = graph.indptr")
+        emit("    indices = graph.indices")
     emit("    nv = graph.n_vertices")
     emit(f"    if nv < {n}:")
     emit("        return 0")
@@ -126,9 +187,14 @@ def generate_source(
     # hoisting plan
     # ------------------------------------------------------------------
     # nb{d} needed if depth d's value feeds an intersection/raw set at an
-    # *executed* depth (>= split_depth; prefix depths have no candidates).
+    # *executed* depth (>= split_depth; prefix depths have no candidates)
+    # — or an anti-edge difference, for induced kernels.
     nb_needed = [
         any(d in plan.deps[later] for later in range(max(d + 1, split_depth), n))
+        or (
+            antideps is not None
+            and any(d in antideps[later] for later in range(d + 1, n))
+        )
         for d in range(n)
     ]
     # Raw candidate var per executed/inner depth: all_vertices / nb{j} /
@@ -166,8 +232,10 @@ def generate_source(
     # ------------------------------------------------------------------
     for depth in range(split_depth, n_loops - 1):
         pad = indent * (depth - split_depth + 1)
-        stmt, cand = _bounds_expr(plan, depth, raw_var[depth])
-        if stmt:
+        stmts, cand = _candidate_stmts(
+            plan, depth, raw_var[depth], depth_labels, antideps
+        )
+        for stmt in stmts:
             emit(f"{pad}{stmt}")
         # .tolist() iterates plain Python ints: cheaper per-iteration
         # than boxing numpy scalars, and downstream indexing/compares
@@ -185,8 +253,8 @@ def generate_source(
     # ------------------------------------------------------------------
     last = n_loops - 1
     pad = indent * (last - split_depth + 1)
-    stmt, cand = _bounds_expr(plan, last, raw_var[last])
-    if stmt:
+    stmts, cand = _candidate_stmts(plan, last, raw_var[last], depth_labels, antideps)
+    for stmt in stmts:
         emit(f"{pad}{stmt}")
     if plan.iep_k == 0:
         emit(f"{pad}cnt = len({cand})")
@@ -292,6 +360,7 @@ def _exec_generated(source: str, plan: ExecutionPlan, func_name: str):
         "intersect_many": intersect_many,
         "bounded_slice": bounded_slice,
         "contains": contains,
+        "difference": difference,
     }
     exec(compile(source, f"<generated:{plan.config.pattern.name or 'pattern'}>", "exec"),
          namespace)
@@ -303,6 +372,49 @@ def compile_plan_function(plan: ExecutionPlan) -> GeneratedCounter:
     source = generate_source(plan)
     function = _exec_generated(source, plan, "generated_count")
     return GeneratedCounter(plan=plan, source=source, function=function)
+
+
+def compile_induced_function(plan: ExecutionPlan) -> GeneratedCounter:
+    """The vertex-induced specialisation of :func:`compile_plan_function`.
+
+    Anti-dependencies (earlier schedule positions the pattern does not
+    connect to the current vertex) become sorted ``difference`` filters
+    in the generated nest.  IEP plans are rejected: the inclusion–
+    exclusion formula assumes edge semantics (the session never plans
+    IEP for induced queries).
+    """
+    if plan.iep_k > 0:
+        raise ValueError("induced kernels require an IEP-free plan (iep_k == 0)")
+    pattern = plan.config.pattern
+    schedule = plan.config.schedule
+    antideps = tuple(
+        tuple(j for j in range(d) if not pattern.has_edge(v, schedule[j]))
+        for d, v in enumerate(schedule)
+    )
+    source = generate_source(
+        plan, func_name="generated_count_induced", antideps=antideps
+    )
+    function = _exec_generated(source, plan, "generated_count_induced")
+    return GeneratedCounter(
+        plan=plan, source=source, function=function, mode="induced"
+    )
+
+
+def compile_labeled_function(plan: ExecutionPlan, lpattern) -> GeneratedCounter:
+    """The labeled specialisation: per-depth label filters, folded in as
+    constants from ``lpattern``.  The returned kernel takes a
+    :class:`~repro.graph.labeled.LabeledGraph`.  IEP plans are rejected
+    (labeled planning is IEP-free by construction)."""
+    if plan.iep_k > 0:
+        raise ValueError("labeled kernels require an IEP-free plan (iep_k == 0)")
+    depth_labels = tuple(lpattern.labels[v] for v in plan.config.schedule)
+    source = generate_source(
+        plan, func_name="generated_count_labeled", depth_labels=depth_labels
+    )
+    function = _exec_generated(source, plan, "generated_count_labeled")
+    return GeneratedCounter(
+        plan=plan, source=source, function=function, mode="labeled"
+    )
 
 
 def compile_prefix_function(plan: ExecutionPlan, split_depth: int) -> GeneratedPrefixCounter:

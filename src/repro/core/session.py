@@ -52,10 +52,16 @@ from repro.core.backend import (
     ExecutionBackend,
     MatchContext,
     capabilities_of,
+    compile_for_context,
     get_backend,
     select_backend,
 )
-from repro.core.codegen import GeneratedCounter, compile_plan_function
+from repro.core.codegen import (
+    GeneratedCounter,
+    compile_induced_function,
+    compile_labeled_function,
+    compile_plan_function,
+)
 from repro.core.config import ExecutionPlan, enumerate_configurations
 from repro.core.perf_model import PerformanceModel, RankedConfiguration
 from repro.core.query import MatchQuery, MatchResult, as_query
@@ -381,12 +387,13 @@ class MatchSession:
 
     def _plan_plain(self, query: MatchQuery, key: tuple) -> PlanEntry:
         induced = query.semantics == "induced"
-        # Codegen only covers plain edge-semantics plans; skip the wasted
-        # generation for induced entries (the interpreter family runs
-        # them) and for backend preferences whose declared capabilities
-        # say they never consume generated kernels (e.g. vectorised —
-        # a later explicit backend="compiled" call still gets a kernel
-        # on demand via _ensure_kernel).
+        # The pipeline's internal codegen emits plain-semantics kernels;
+        # induced entries get their anti-edge kernel compiled right
+        # after, from the same chosen plan.  Backend preferences whose
+        # declared capabilities say they never consume generated kernels
+        # (e.g. vectorised) skip the wasted generation — a later
+        # explicit backend="compiled" call still gets a kernel on demand
+        # via _ensure_kernel.
         caps = capabilities_of(query.backend)
         wants_kernel = caps is None or caps.generated_kernels
         report = plan_plain(
@@ -397,12 +404,20 @@ class MatchSession:
             dedup_schedules=query.dedup_schedules,
             codegen=query.use_codegen and not induced and wants_kernel,
         )
+        generated = report.generated
+        if (
+            induced
+            and query.use_codegen
+            and wants_kernel
+            and report.plan.iep_k == 0
+        ):
+            generated = compile_induced_function(report.plan)
         return PlanEntry(
             key=key,
             mode="plain",
             semantics=query.semantics,
             plan=report.plan,
-            generated=report.generated,
+            generated=generated,
             lpattern=None,
             provenance=report.chosen.config.describe(),
             predicted_cost=report.chosen.predicted_cost,
@@ -419,12 +434,22 @@ class MatchSession:
         report = matcher.plan(
             self.graph, use_iep=query.resolved_use_iep, stats=self.stats
         )
+        caps = capabilities_of(query.backend)
+        wants_kernel = caps is None or caps.generated_kernels
+        generated = None
+        if (
+            query.use_codegen
+            and wants_kernel
+            and isinstance(report.plan, ExecutionPlan)
+            and report.plan.iep_k == 0
+        ):
+            generated = compile_labeled_function(report.plan, query.pattern)
         return PlanEntry(
             key=key,
             mode="labeled",
             semantics=query.semantics,
             plan=report.plan,
-            generated=None,
+            generated=generated,
             lpattern=query.pattern,
             provenance=report.configuration.describe(),
             predicted_cost=report.predicted_cost,
@@ -510,7 +535,7 @@ class MatchSession:
             and isinstance(entry.plan, ExecutionPlan)
             and chosen.supports(ctx)
         ):
-            generated = compile_plan_function(entry.plan)
+            generated = compile_for_context(ctx)
             updated = dataclasses.replace(entry, generated=generated)
             if entry.key in self._cache:
                 self._cache[entry.key] = updated

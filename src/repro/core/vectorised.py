@@ -12,44 +12,73 @@ schedules and restrictions:
 * the partial embeddings at loop depth ``d`` are one 2-D ``numpy`` array
   (the *frontier*, shape ``(n_partial, d)``, one row per embedding);
 * extending the frontier to depth ``d + 1`` is a handful of whole-array
-  operations: clip each row's CSR neighbour range to its restriction
-  window by binary-searching the sorted edge keys, gather the clipped
-  pivot ranges (:func:`~repro.graph.intersection.gather_ranges`), and
-  intersect against the remaining bound neighbourhoods with batched
-  binary search over those same keys
+  operations: clip each row's candidate range to its restriction
+  window by binary-searching sorted keys, gather the clipped ranges
+  (:func:`~repro.graph.intersection.gather_ranges`), and intersect
+  against the remaining bound neighbourhoods with batched binary search
   (:func:`~repro.graph.intersection.bulk_contains_sorted`) — GraphPi's
   restriction inequalities ``id(u) > id(v)`` are thereby enforced
   *before* the gather, and :func:`restriction_mask` re-applies them as
   vectorised boolean masks where candidates are re-examined;
-* the innermost loop never materialises: its surviving candidates are
-  simply counted, the bulk form of the interpreter's last-loop shortcut.
+* the innermost loop never materialises in plain mode: its surviving
+  candidates are simply counted, the bulk form of the interpreter's
+  last-loop shortcut.
 
-The semantics are exactly the interpreter's — same plans, same
-restriction placement, same counts — only the iteration strategy
-changes, so the cross-backend equivalence suite pins this backend
-against the same brute-force oracle as every other.
+Auxiliary-graph pruning (GraphMini)
+-----------------------------------
+The direct path re-gathers and re-intersects the same hub rows for
+every sibling row at a depth.  When that redundancy is worth removing,
+the engine materialises a *scratch CSR* — one pruned candidate row per
+distinct prefix — and the subtree below reads those small rows instead
+of the full CSR (:class:`_CandidateSource`).  Two mechanisms feed it:
 
-What it deliberately does **not** cover (the automatic interpreter
-fallback in :func:`~repro.core.backend.select_backend` handles these):
+* **group dedup**: frontier rows sharing their dependency-column values
+  share one ``∩ of neighbourhoods`` build
+  (:func:`~repro.graph.intersection.bulk_intersect_rows` over the
+  distinct groups found with ``np.unique``; duplicates are generally
+  *not* consecutive, so run detection is not enough);
+* **pool chaining**: when ``deps[d] ⊇ covers`` of a pool built at an
+  earlier depth, the next pool is the old pool intersected with the
+  residual neighbourhoods
+  (:func:`~repro.graph.intersection.refine_scratch_rows`) — on
+  clique-like patterns each depth's candidate rows shrink by a
+  density factor instead of restarting from full degree rows.
 
-* plans compiled with an IEP suffix (``iep_k > 0``) — IEP evaluates
-  per-prefix counting formulas that do not vectorise across a frontier;
-  the session layer plans IEP-free when this backend is preferred, so
-  the fallback only triggers for explicitly requested IEP plans;
-* labeled / induced / directed contexts — different engine families;
-* schedules with a disconnected prefix (no dependency to pivot on; the
-  phase-1 generator never emits these).
+Materialisation is gated by a cost model over
+:class:`~repro.graph.stats.DegreeStats` (estimated reuse x row size vs.
+build cost) so sparse prefixes keep the direct path; ``aux=True/False``
+forces the choice for ablation (``benchmarks/bench_auxiliary.py``).
+
+Labeled and induced execution
+-----------------------------
+The same frontier pipeline serves labeled and vertex-induced contexts:
+labeled roots come pre-filtered
+(:meth:`~repro.graph.labeled.LabeledGraph.vertices_with_label`) and each
+depth applies a vectorised label mask; induced contexts add anti-edge
+masks (``~bulk_contains_sorted`` plus ``!=``) against each
+non-adjacent bound column — exactly
+:class:`repro.core.induced.InducedEngine`'s ``difference`` calls, bulk.
+
+What the backend deliberately does **not** cover (the automatic
+interpreter fallback in :func:`~repro.core.backend.select_backend`
+handles these): plans compiled with an IEP suffix (``iep_k > 0``) —
+IEP evaluates per-prefix counting formulas that do not vectorise
+across a frontier (the session layer plans IEP-free when this backend
+is preferred) — directed contexts, and schedules with a disconnected
+prefix (the phase-1 generator never emits these).
 
 Frontiers grow multiplicatively with depth, so :class:`FrontierEngine`
 bounds peak memory by processing the root vertices in chunks
 (``root_chunk``): each chunk runs through the whole loop nest before the
 next starts, which also keeps enumeration lazy and in the interpreter's
-DFS order.
+DFS order (every gather is owner-major with ascending candidates, with
+or without auxiliary pools).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import math
+import weakref
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -58,24 +87,56 @@ from repro.core.config import ExecutionPlan
 from repro.graph.csr import Graph
 from repro.graph.intersection import (
     bulk_contains_sorted,
+    bulk_intersect_rows,
     gather_ranges,
+    refine_scratch_rows,
     sorted_edge_keys,
 )
+from repro.graph.labeled import LabeledGraph
+from repro.graph.stats import degree_statistics
 
 #: default number of root vertices processed per frontier sweep.
 DEFAULT_ROOT_CHUNK = 32768
 
+#: auxiliary pruning is not considered below this frontier size in
+#: ``aux="auto"`` mode — the bookkeeping cannot amortise.
+AUX_MIN_ROWS = 48
 
-@lru_cache(maxsize=8)
+#: the ``np.unique`` dedup sort is charged this fraction of a gather
+#: element-visit in the group-materialisation gate.
+AUX_SORT_COST = 0.25
+
+#: one ``bulk_contains`` membership probe (a log₂E searchsorted into the
+#: full adjacency array) is charged this many gather element-visits in
+#: the group-materialisation gate.
+AUX_CONTAINS_COST = 1.0
+
+#: a pool the next depth could chain from is worth building only when
+#: the group dedup also removes at least this fraction of the frontier
+#: rows — with no duplicates (G == F, e.g. a clique's edge frontier)
+#: the unwindowed build loses to the windowed direct gather outright.
+AUX_STORE_DEDUP = 0.75
+
+#: per-graph sorted edge keys, weakly keyed: dropping the last reference
+#: to a graph releases its O(E) key array instead of pinning up to a
+#: fixed number of dead graphs the way the old ``lru_cache(8)`` did.
+_EDGE_KEY_CACHE: "weakref.WeakKeyDictionary[Graph, np.ndarray]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _graph_edge_keys(graph: Graph) -> np.ndarray:
-    """The graph's sorted edge-key array, computed once per graph.
+    """The graph's sorted edge-key array, computed once per live graph.
 
     Graphs are immutable, so the keys can be shared by every engine the
     backend builds — repeated cached-plan executions (a motif census, a
     service draining requests) must not pay the O(E) rebuild per call.
-    The small LRU mirrors the session registry's retention policy.
     """
-    return sorted_edge_keys(graph.indptr, graph.indices)
+    keys = _EDGE_KEY_CACHE.get(graph)
+    if keys is None:
+        keys = sorted_edge_keys(graph.indptr, graph.indices)
+        _EDGE_KEY_CACHE[graph] = keys
+    return keys
 
 
 def restriction_mask(
@@ -102,17 +163,101 @@ def restriction_mask(
     return mask
 
 
+def _encode_columns(cols: list[np.ndarray]) -> np.ndarray | None:
+    """Pack parallel int columns into one int64 key, or ``None`` on
+    overflow risk (callers then skip the dedup, never miscount)."""
+    key = cols[0].astype(np.int64, copy=True)
+    span = int(key.max()) + 1 if len(key) else 1
+    for col in cols[1:]:
+        base = int(col.max()) + 1 if len(col) else 1
+        if span > (2**62) // max(base, 1):
+            return None
+        key *= base
+        key += col
+        span *= base
+    return key
+
+
+class _CandidateSource:
+    """Per-frontier-row candidate pools in keyed-CSR form.
+
+    Uniform view over the two places candidates come from:
+
+    * the graph itself (*virtual*: ``indptr``/``values``/``keys`` are
+      the CSR arrays and ``row_map`` holds the pivot column's vertices;
+      ``post_deps`` lists the dependencies still to be mask-checked);
+    * a materialised scratch CSR (auxiliary pruning: one pruned row per
+      distinct prefix, ``row_map`` maps frontier rows onto pool rows,
+      ``covers`` are already intersected in, ``post_deps`` is empty).
+
+    ``keys[i] = row_id * n + values[i]`` is globally sorted either way,
+    so per-row restriction windows resolve with two ``searchsorted``
+    calls regardless of the source kind.
+    """
+
+    __slots__ = ("indptr", "values", "keys", "row_map", "covers", "post_deps", "materialised")
+
+    def __init__(self, indptr, values, keys, row_map, covers, post_deps, materialised):
+        self.indptr = indptr
+        self.values = values
+        self.keys = keys
+        self.row_map = row_map
+        self.covers = covers
+        self.post_deps = post_deps
+        self.materialised = materialised
+
+    def aligned(self, owner: np.ndarray) -> "_CandidateSource":
+        """The same pool re-aligned to an extended frontier (row ``i`` of
+        the new frontier descends from old row ``owner[i]``)."""
+        return _CandidateSource(
+            self.indptr,
+            self.values,
+            self.keys,
+            self.row_map[owner],
+            self.covers,
+            self.post_deps,
+            self.materialised,
+        )
+
+
 class FrontierEngine:
     """Executes one IEP-free plan against one graph, breadth-first.
 
-    The vectorised counterpart of :class:`repro.core.engine.Engine`:
-    same plan, same counts, but each loop depth is one bulk array
-    operation over the whole frontier instead of a recursive call per
-    partial embedding.
+    The vectorised counterpart of :class:`repro.core.engine.Engine`
+    (and, via ``lpattern``/``induced``, of the labeled and induced
+    engines): same plan, same counts, but each loop depth is one bulk
+    array operation over the whole frontier instead of a recursive call
+    per partial embedding.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.csr.Graph`, or a
+        :class:`~repro.graph.labeled.LabeledGraph` when ``lpattern`` is
+        given.
+    aux:
+        Auxiliary-graph pruning: ``"auto"`` (cost-gated, default),
+        ``True`` (always materialise/chain when structurally possible)
+        or ``False`` (pure direct path — the pre-pruning engine).
+    lpattern:
+        A :class:`~repro.pattern.labeled.LabeledPattern` switching the
+        engine to labeled semantics (roots and every depth filtered to
+        the pattern's labels).
+    induced:
+        Vertex-induced semantics: anti-edge masks against every
+        non-adjacent bound column (cannot be combined with
+        ``lpattern``).
     """
 
     def __init__(
-        self, graph: Graph, plan: ExecutionPlan, *, root_chunk: int = DEFAULT_ROOT_CHUNK
+        self,
+        graph: Graph | LabeledGraph,
+        plan: ExecutionPlan,
+        *,
+        root_chunk: int = DEFAULT_ROOT_CHUNK,
+        aux: "bool | str" = "auto",
+        lpattern=None,
+        induced: bool = False,
     ):
         if plan.iep_k > 0:
             raise ValueError(
@@ -126,10 +271,41 @@ class FrontierEngine:
             )
         if root_chunk < 1:
             raise ValueError("root_chunk must be >= 1")
+        if aux not in (True, False, "auto"):
+            raise ValueError('aux must be True, False or "auto"')
+        if induced and lpattern is not None:
+            raise ValueError("labeled induced matching is not supported")
+        if lpattern is not None:
+            if not isinstance(graph, LabeledGraph):
+                raise TypeError("labeled execution needs a LabeledGraph")
+            self._labels = graph.labels
+            graph = graph.graph
+        else:
+            if isinstance(graph, LabeledGraph):
+                graph = graph.graph
+            self._labels = None
         self.graph = graph
         self.plan = plan
         self.root_chunk = root_chunk
+        self.aux = aux
+        self._induced = induced
+        self._n = graph.n_vertices
         self._edge_keys = _graph_edge_keys(graph)
+        self._degrees = graph.degrees
+        self._dstats = degree_statistics(graph)
+        schedule = plan.config.schedule
+        if lpattern is not None:
+            self._depth_labels = tuple(lpattern.labels[v] for v in schedule)
+        else:
+            self._depth_labels = None
+        if induced:
+            pattern = plan.config.pattern
+            self._antideps = tuple(
+                tuple(j for j in range(d) if not pattern.has_edge(v, schedule[j]))
+                for d, v in enumerate(schedule)
+            )
+        else:
+            self._antideps = None
 
     # ------------------------------------------------------------------
     # bounded candidate ranges (the bulk form of ``bounded_slice``)
@@ -161,7 +337,7 @@ class FrontierEngine:
         — restriction pruning happens *before* the gather, so excluded
         candidates are never materialised (the paper's ``break``, bulk).
         """
-        indptr, n = self.graph.indptr, self.graph.n_vertices
+        indptr, n = self.graph.indptr, self._n
         keyed = values * n
         starts = (
             indptr[values]
@@ -172,6 +348,26 @@ class FrontierEngine:
             indptr[values + 1]
             if hi is None
             else np.searchsorted(self._edge_keys, keyed + hi, side="left")
+        )
+        return starts, np.maximum(ends - starts, 0)
+
+    def _window_ranges(
+        self, src: _CandidateSource, lo: np.ndarray | None, hi: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`_ranges` generalised to any candidate source: the same
+        keyed binary search works because scratch keys share the
+        ``row_id * n + value`` layout of the edge keys."""
+        row = src.row_map
+        keyed = row * self._n
+        starts = (
+            src.indptr[row]
+            if lo is None
+            else np.searchsorted(src.keys, keyed + lo, side="right")
+        )
+        ends = (
+            src.indptr[row + 1]
+            if hi is None
+            else np.searchsorted(src.keys, keyed + hi, side="left")
         )
         return starts, np.maximum(ends - starts, 0)
 
@@ -190,54 +386,257 @@ class FrontierEngine:
         return best[1], best[2], best[3]
 
     # ------------------------------------------------------------------
+    # auxiliary candidate sources (GraphMini-style pruning)
+    # ------------------------------------------------------------------
+    def _chain_source(
+        self, front: np.ndarray, depth: int, prev: _CandidateSource | None
+    ) -> _CandidateSource | None:
+        """Chain a previously materialised pool into this depth.
+
+        Applicable when the pool's ``covers`` is a subset of this
+        depth's dependencies: the new candidate rows are the old pool
+        rows intersected with the residual neighbourhoods — never the
+        full CSR rows.  With no residual the pool is reused as-is
+        (free); otherwise distinct ``(pool row, residual values)``
+        groups are refined once and shared.
+        """
+        if prev is None or self.aux is False:
+            return None
+        deps = self.plan.deps[depth]
+        if len(deps) < 2 or not set(prev.covers) <= set(deps):
+            return None
+        resid = tuple(j for j in deps if j not in prev.covers)
+        if not resid:
+            return prev
+        if self.aux == "auto" and not self._chain_pays(front, deps, prev, resid):
+            return None
+        resid_cols = [front[:, j] for j in resid]
+        key = _encode_columns([prev.row_map] + resid_cols)
+        if key is None:
+            reps = np.arange(len(front), dtype=np.int64)
+            inverse = reps
+        else:
+            _, reps, inverse = np.unique(key, return_index=True, return_inverse=True)
+        indptr, values, keys = refine_scratch_rows(
+            prev.indptr,
+            prev.values,
+            prev.row_map[reps],
+            self._edge_keys,
+            np.column_stack([front[reps, j] for j in resid]),
+            self._n,
+        )
+        covers = tuple(sorted(set(prev.covers) | set(resid)))
+        return _CandidateSource(indptr, values, keys, inverse, covers, (), True)
+
+    def _chain_pays(self, front, deps, prev: _CandidateSource, resid) -> bool:
+        """Chaining wins when refining the (already pruned) pool rows
+        beats re-gathering a pivot's degree-sized rows: mean pool row x
+        (1 gather + |resid| membership passes) vs. mean pivot row x
+        (1 gather + |deps|-1 membership passes)."""
+        rows = prev.row_map
+        pool_mean = float((prev.indptr[rows + 1] - prev.indptr[rows]).mean())
+        pivot_mean = min(float(self._degrees[front[:, j]].mean()) for j in deps)
+        return pool_mean * (1 + len(resid)) <= pivot_mean * len(deps)
+
+    def _group_source(
+        self, front: np.ndarray, depth: int
+    ) -> _CandidateSource | None:
+        """Materialise one pruned row per distinct dependency-value group.
+
+        Frontier rows that agree on all dependency columns share their
+        candidate intersection exactly (restriction windows and
+        injectivity masks still differ per row and are applied at use
+        time).  Duplicates are generally *not* consecutive — e.g. a
+        depth depending on columns {1, 2} repeats across every value of
+        column 0 — so groups are found with ``np.unique`` over the
+        packed dependency values, not run detection.
+        """
+        if self.aux is False:
+            return None
+        deps = self.plan.deps[depth]
+        if len(deps) < 2:
+            return None
+        if self.aux == "auto" and len(front) < AUX_MIN_ROWS:
+            return None
+        key = _encode_columns([front[:, j] for j in deps])
+        if key is None:
+            return None
+        _, reps, inverse = np.unique(key, return_index=True, return_inverse=True)
+        n_groups, n_rows = len(reps), len(front)
+        store_wanted = depth + 1 < self.plan.n and set(deps) <= set(
+            self.plan.deps[depth + 1]
+        )
+        if self.aux == "auto":
+            # A pool the next depth can chain from earns a relaxed gate,
+            # but only when the dedup itself removes real duplicates —
+            # a duplicate-free frontier (G == F) makes the unwindowed
+            # build a pure loss however reusable the pool is.
+            chain_pays = store_wanted and n_groups <= AUX_STORE_DEDUP * n_rows
+            if not chain_pays:
+                # The cost-model gate.  Per frontier row the direct path
+                # gathers a pivot-degree-sized row and then runs a
+                # membership probe over every gathered element for each
+                # remaining dependency; the pool does that work once per
+                # *group*, so each duplicate row saves the whole pass.
+                # The pool's own extra costs are the dedup sort and the
+                # per-row window-gather of a pre-intersected row, whose
+                # expected size shrinks by p1 per extra dependency
+                # (DegreeStats supplies p1; the pivot degree is measured
+                # on the live frontier, which skews to hubs that the
+                # global average badly understates).
+                k = len(deps)
+                pivot_mean = min(
+                    float(self._degrees[front[:, j]].mean()) for j in deps
+                )
+                per_row = pivot_mean * (1.0 + AUX_CONTAINS_COST * (k - 1))
+                pooled_row = max(pivot_mean * self._dstats.p1 ** (k - 1), 1.0)
+                saved = (n_rows - n_groups) * per_row
+                build = n_rows * pooled_row
+                build += AUX_SORT_COST * n_rows * math.log2(max(n_rows, 2))
+                if saved < build:
+                    return None
+        indptr, values, keys = bulk_intersect_rows(
+            self.graph.indptr,
+            self.graph.indices,
+            self._edge_keys,
+            front[np.ix_(reps, list(deps))],
+            self._n,
+        )
+        return _CandidateSource(indptr, values, keys, inverse, tuple(deps), (), True)
+
+    def _prepare(
+        self, front: np.ndarray, depth: int, prev: _CandidateSource | None
+    ) -> tuple[_CandidateSource, np.ndarray, np.ndarray]:
+        """Choose this depth's candidate source and window it per row."""
+        deps = self.plan.deps[depth]
+        lo, hi = self._bounds(front, depth)
+        src = self._chain_source(front, depth, prev)
+        if src is None:
+            src = self._group_source(front, depth)
+        if src is not None:
+            starts, counts = self._window_ranges(src, lo, hi)
+            return src, starts, counts
+        if len(deps) == 1:
+            j = deps[0]
+            src = _CandidateSource(
+                self.graph.indptr,
+                self.graph.indices,
+                self._edge_keys,
+                front[:, j],
+                (j,),
+                (),
+                False,
+            )
+            starts, counts = self._window_ranges(src, lo, hi)
+            return src, starts, counts
+        pivot, starts, counts = self._pivot_ranges(front, deps, lo, hi)
+        src = _CandidateSource(
+            self.graph.indptr,
+            self.graph.indices,
+            self._edge_keys,
+            front[:, pivot],
+            (pivot,),
+            tuple(j for j in deps if j != pivot),
+            False,
+        )
+        return src, starts, counts
+
+    # ------------------------------------------------------------------
     # frontier extension
     # ------------------------------------------------------------------
-    def _extend(self, front: np.ndarray, depth: int) -> tuple[np.ndarray, np.ndarray]:
+    def _extend(
+        self, front: np.ndarray, depth: int, prev: _CandidateSource | None = None
+    ) -> tuple[np.ndarray, np.ndarray, _CandidateSource]:
         """All valid ``(owner, candidate)`` extensions of ``front``.
 
         Owner-major with ascending candidates inside each owner — the
         same order the DFS interpreter visits, so frontiers (and
-        therefore enumeration) stay in DFS order by induction.
+        therefore enumeration) stay in DFS order by induction, with or
+        without an auxiliary source.  Returns the source used so the
+        caller can carry a materialised pool into the next depth.
         """
-        plan, graph = self.plan, self.graph
+        plan, n = self.plan, self._n
         deps = plan.deps[depth]
-        lo, hi = self._bounds(front, depth)
-        pivot, starts, counts = self._pivot_ranges(front, deps, lo, hi)
-        owner, cand = gather_ranges(graph.indices, starts, counts)
-        n = graph.n_vertices
+        src, starts, counts = self._prepare(front, depth, prev)
+        owner, cand = gather_ranges(src.values, starts, counts)
         mask = np.ones(len(cand), dtype=bool)
-        for j in deps:
-            if j != pivot:
-                mask &= bulk_contains_sorted(
+        for j in src.post_deps:
+            mask &= bulk_contains_sorted(self._edge_keys, front[owner, j] * n + cand)
+        if self._induced:
+            # Anti-edges: the candidate must be distinct from *and*
+            # non-adjacent to every non-dependency bound vertex (the
+            # adjacency mask alone does not exclude equality — there
+            # are no self-loops).
+            for j in self._antideps[depth]:
+                mask &= cand != front[owner, j]
+                mask &= ~bulk_contains_sorted(
                     self._edge_keys, front[owner, j] * n + cand
                 )
-        # Injectivity: adjacency already rules out the dependency columns
-        # (no self-loops), only the non-adjacent bound vertices remain.
-        for j in range(depth):
-            if j not in deps:
-                mask &= cand != front[owner, j]
-        return owner[mask], cand[mask]
+        else:
+            # Injectivity: adjacency already rules out the dependency
+            # columns (no self-loops), only the non-adjacent bound
+            # vertices remain.
+            for j in range(depth):
+                if j not in deps:
+                    mask &= cand != front[owner, j]
+        if self._labels is not None:
+            mask &= self._labels[cand] == self._depth_labels[depth]
+        return owner[mask], cand[mask], src
 
     # ------------------------------------------------------------------
     # the innermost loop: count without materialising
     # ------------------------------------------------------------------
-    def _count_last(self, front: np.ndarray, depth: int) -> int:
-        """Candidates surviving the innermost loop, summed over ``front``.
-
-        The bulk form of the interpreter's last-loop shortcut, with one
-        extra amortisation: consecutive frontier rows that agree on the
-        dependency and bound columns (the frontier is DFS-sorted, so the
-        innermost-varying column produces long such runs) share one
-        candidate-set evaluation — count once, multiply by the run
-        length, then subtract the per-row already-used corrections.
-        """
-        plan = self.plan
-        deps = plan.deps[depth]
-        n = self.graph.n_vertices
-        lo, hi = self._bounds(front, depth)
-
+    def _count_last(
+        self, front: np.ndarray, depth: int, prev: _CandidateSource | None
+    ) -> int:
+        """Candidates surviving the innermost loop, summed over ``front``."""
         if len(front) == 0:
             return 0
+        if self._labels is None and not self._induced:
+            src = self._chain_source(front, depth, prev)
+            if src is not None and not src.post_deps:
+                return self._count_last_pooled(front, depth, src)
+            return self._count_last_direct(front, depth)
+        # Labeled/induced masks need the candidates materialised; the
+        # arrays are small (label/anti filters prune hard) and the
+        # extension pipeline already applies every mask.
+        _, cand, _ = self._extend(front, depth, prev)
+        return len(cand)
+
+    def _count_last_pooled(
+        self, front: np.ndarray, depth: int, src: _CandidateSource
+    ) -> int:
+        """Innermost count off a pool covering every dependency: the
+        windowed counts come straight from the keyed binary search —
+        no gather at all — minus the already-used corrections."""
+        plan = self.plan
+        lo, hi = self._bounds(front, depth)
+        _, counts = self._window_ranges(src, lo, hi)
+        total = int(counts.sum())
+        rows = np.arange(len(front))
+        deps = plan.deps[depth]
+        for k in range(depth):
+            if k in deps:
+                continue
+            used = front[:, k]
+            hit = bulk_contains_sorted(src.keys, src.row_map * self._n + used)
+            hit &= restriction_mask(
+                front, rows, used, plan.lower[depth], plan.upper[depth]
+            )
+            total -= int(hit.sum())
+        return total
+
+    def _count_last_direct(self, front: np.ndarray, depth: int) -> int:
+        """The direct-path innermost count, with one amortisation:
+        consecutive frontier rows that agree on the dependency and bound
+        columns (the frontier is DFS-sorted, so the innermost-varying
+        column produces long such runs) share one candidate-set
+        evaluation — count once, multiply by the run length, then
+        subtract the per-row already-used corrections."""
+        plan = self.plan
+        deps = plan.deps[depth]
+        n = self._n
+        lo, hi = self._bounds(front, depth)
 
         key_cols = [front[:, j] for j in deps]
         if lo is not None:
@@ -286,6 +685,12 @@ class FrontierEngine:
             total -= int(hit.sum())
         return total
 
+    def _roots(self) -> np.ndarray:
+        roots = self.graph.vertices()
+        if self._labels is not None:
+            roots = roots[self._labels[roots] == self._depth_labels[0]]
+        return roots
+
     def _root_chunks(self, first: int | None = None) -> Iterator[np.ndarray]:
         """Sweep the root vertices in chunks of at most ``root_chunk``.
 
@@ -293,7 +698,7 @@ class FrontierEngine:
         with a small ``limit`` should not pay for a full chunk's
         frontier when the first few roots already satisfy it.
         """
-        roots = self.graph.vertices()
+        roots = self._roots()
         start, size = 0, min(first or self.root_chunk, self.root_chunk)
         while start < len(roots):
             yield roots[start : start + size]
@@ -317,22 +722,26 @@ class FrontierEngine:
         ``root_chunk``-sized batches like the full count.
         """
         plan = self.plan
-        if plan.n > self.graph.n_vertices:
+        if plan.n > self._n:
             return 0
         roots = np.asarray(roots, dtype=np.int64)
+        if self._labels is not None:
+            roots = roots[self._labels[roots] == self._depth_labels[0]]
         if plan.n == 1:
             return len(roots)
         total = 0
         for start in range(0, len(roots), self.root_chunk):
             front = roots[start : start + self.root_chunk, None]
+            prev: _CandidateSource | None = None
             for depth in range(1, plan.n):
                 if depth == plan.n - 1:
-                    total += self._count_last(front, depth)
+                    total += self._count_last(front, depth, prev)
                     break
-                owner, cand = self._extend(front, depth)
+                owner, cand, src = self._extend(front, depth, prev)
                 if len(cand) == 0:
                     break
                 front = np.concatenate([front[owner], cand[:, None]], axis=1)
+                prev = src.aligned(owner) if src.materialised else None
         return total
 
     # ------------------------------------------------------------------
@@ -347,7 +756,7 @@ class FrontierEngine:
         ``limit=5`` call touches a handful of roots, not the graph.
         """
         plan = self.plan
-        if plan.n > self.graph.n_vertices:
+        if plan.n > self._n:
             return
         schedule = plan.config.schedule
         inverse = [0] * len(schedule)
@@ -356,12 +765,14 @@ class FrontierEngine:
         remaining = float("inf") if limit is None else limit
         for roots in self._root_chunks(first=64 if limit is not None else None):
             front = roots[:, None]
+            prev: _CandidateSource | None = None
             for depth in range(1, plan.n):
-                owner, cand = self._extend(front, depth)
+                owner, cand, src = self._extend(front, depth, prev)
                 if len(cand) == 0:
                     front = front[:0]
                     break
                 front = np.concatenate([front[owner], cand[:, None]], axis=1)
+                prev = src.aligned(owner) if src.materialised else None
             for row in front:
                 if remaining <= 0:
                     return
@@ -382,36 +793,51 @@ from repro.core.backend import (  # noqa: E402
     register_backend,
 )
 
+#: the matching modes the frontier pipeline executes directly.
+_FRONTIER_MODES = frozenset({"plain", "induced", "labeled"})
+
 
 @register_backend
 class VectorisedBackend(ExecutionBackend):
-    """Bulk frontier execution over numpy arrays (plain, IEP-free plans).
+    """Bulk frontier execution over numpy arrays (IEP-free plans).
 
     Constructor options: ``root_chunk`` — root vertices per frontier
-    sweep (peak-memory bound; default ``DEFAULT_ROOT_CHUNK``).
+    sweep (peak-memory bound; default ``DEFAULT_ROOT_CHUNK``); ``aux``
+    — auxiliary-graph pruning (``"auto"`` cost-gated default, ``True``
+    forced, ``False`` disabled — the ablation knob).
     """
 
     name = "vectorised"
     supports_enumeration = True
     capabilities = BackendCapabilities(
-        modes=frozenset({"plain"}),
+        modes=_FRONTIER_MODES,
         iep=False,
         enumeration=True,
     )
 
-    def __init__(self, *, root_chunk: int = DEFAULT_ROOT_CHUNK):
+    def __init__(
+        self, *, root_chunk: int = DEFAULT_ROOT_CHUNK, aux: "bool | str" = "auto"
+    ):
         self.root_chunk = root_chunk
+        self.aux = aux
 
     def supports(self, ctx: MatchContext) -> bool:
         return (
-            ctx.mode == "plain"
+            ctx.mode in _FRONTIER_MODES
             and isinstance(ctx.plan, ExecutionPlan)
             and ctx.plan.iep_k == 0
             and all(ctx.plan.deps[d] for d in range(1, ctx.plan.n))
         )
 
     def _engine(self, ctx: MatchContext) -> FrontierEngine:
-        return FrontierEngine(ctx.graph, ctx.plan, root_chunk=self.root_chunk)
+        return FrontierEngine(
+            ctx.graph,
+            ctx.plan,
+            root_chunk=self.root_chunk,
+            aux=self.aux,
+            lpattern=ctx.lpattern if ctx.mode == "labeled" else None,
+            induced=ctx.mode == "induced",
+        )
 
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)

@@ -11,7 +11,8 @@ provide three interchangeable kernels:
   array into the larger, O(n log m); this is the NumPy-friendly kernel and
   the default for unequal sizes.
 * ``intersect_galloping``  — exponential search from the small side,
-  O(n log(m/n)); wins when one side is tiny.
+  O(n log(m/n)); wins only when the whole job is a few probes into a
+  small row, where NumPy's fixed call overhead dominates.
 
 ``intersect`` picks a kernel adaptively.  All kernels require *strictly
 increasing* inputs (CSR guarantees this) and return a sorted array.
@@ -85,36 +86,77 @@ def intersect_galloping(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return _EMPTY
     out = []
     lo = 0
-    for x in a:
+    probe = b.item  # unboxed scalar reads: ~5x cheaper than b[i]
+    for x in a.tolist():
         # Gallop: double the step until b[lo + step] >= x.
         step = 1
         hi = lo
-        while hi < m and b[hi] < x:
+        while hi < m and probe(hi) < x:
             lo = hi
             hi += step
             step <<= 1
-        hi = min(hi, m)
+        if hi > m:
+            hi = m
         # Binary search in (lo, hi].
-        idx = lo + int(np.searchsorted(b[lo:hi], x))
-        if idx < m and b[idx] == x:
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if probe(mid) < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < m and probe(lo) == x:
             out.append(x)
-            lo = idx + 1
-        else:
-            lo = idx
+            lo += 1
         if lo >= m:
             break
     return np.asarray(out, dtype=VERTEX_DTYPE)
 
 
-#: if the size ratio exceeds this, searchsorted beats merge decisively.
-_ADAPTIVE_RATIO = 8
+#: gallop only when the large side is at least this many times the small
+#: side — below that, one vectorised ``searchsorted`` of the whole small
+#: array beats the per-element Python gallop loop.
+GALLOP_RATIO = 32
+
+#: ... and only when the large side is small in *absolute* terms: the
+#: gallop loop's win is avoiding ~3.5 µs of fixed NumPy call overhead,
+#: which only covers ~2 * small * log2(large) interpreted probes while
+#: the large side stays a few hundred elements.  Past that, the C-level
+#: binary search always wins however extreme the ratio (the tiny/huge
+#: row of ``benchmarks/bench_ablation_intersection.py`` documents this).
+GALLOP_MAX_LARGE = 512
+
+#: ... and only when the small side is at most this long: the gallop
+#: kernel pays Python-loop overhead *per element* of the small array.
+#: Measured against a few-hundred-element row, a single probe wins
+#: ~1.5x; two probes already break even at best (see
+#: ``benchmarks/bench_ablation_intersection.py``).
+GALLOP_MAX_SMALL = 1
 
 
 def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Adaptive intersection of two strictly increasing vertex arrays."""
+    """Adaptive intersection of two strictly increasing vertex arrays.
+
+    Dispatches on measured crossovers, not asymptotics: the galloping
+    kernel wins only where the whole job is a handful of interpreted
+    probes — ``small <= GALLOP_MAX_SMALL`` probes into a row of at most
+    ``GALLOP_MAX_LARGE`` elements, with the ``GALLOP_RATIO`` imbalance
+    that makes per-element search worthwhile at all.  There it skips
+    the ~3.5 µs of fixed call overhead the vectorised path pays (a hot
+    case: an ``intersect_many`` accumulator shrunk to a single vertex
+    against an adjacency row).  Everything else takes the vectorised
+    binary search, whose whole-array ``searchsorted`` amortises away
+    the Python-level per-element cost that dominates the gallop loop.
+    """
     la, lb = len(a), len(b)
     if la == 0 or lb == 0:
         return _EMPTY
+    small, large = (la, lb) if la <= lb else (lb, la)
+    if (
+        small <= GALLOP_MAX_SMALL
+        and large <= GALLOP_MAX_LARGE
+        and large > small * GALLOP_RATIO
+    ):
+        return intersect_galloping(a, b)
     return intersect_searchsorted(a, b)
 
 
@@ -263,6 +305,90 @@ def bulk_contains_sorted(haystack: np.ndarray, keys: np.ndarray) -> np.ndarray:
     pos = np.searchsorted(haystack, keys)
     pos[pos == len(haystack)] = len(haystack) - 1
     return haystack[pos] == keys
+
+
+# ---------------------------------------------------------------------------
+# scratch-CSR primitives (auxiliary-graph pruning)
+# ---------------------------------------------------------------------------
+# The frontier engine's auxiliary graphs are *scratch CSR* structures:
+# one pruned candidate row per distinct matching prefix, stored as
+# ``(indptr, values, keys)`` where ``keys = row_id * n + value`` is
+# globally strictly increasing (row blocks are laid out in row-id order
+# and rows are sorted inside) — the same keyed layout as
+# :func:`sorted_edge_keys`, so per-row restriction windows resolve with
+# the same two ``searchsorted`` calls.
+
+
+def bulk_intersect_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_keys: np.ndarray,
+    vertex_cols: np.ndarray,
+    n_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Multi-row intersection: one ``∩ of CSR rows`` per input row.
+
+    ``vertex_cols`` has shape ``(R, k)``; output row ``i`` is the sorted
+    intersection of the CSR rows of ``vertex_cols[i]`` — the bulk form
+    of :func:`intersect_many` over the whole batch at once.  The column
+    with the smallest total degree pivots (its rows are gathered), the
+    others become batched edge-key membership masks.  Returns the
+    scratch CSR ``(scratch_indptr, values, keys)``.
+    """
+    vertex_cols = np.asarray(vertex_cols, dtype=VERTEX_DTYPE)
+    rows, k = vertex_cols.shape
+    if rows == 0:
+        z = np.zeros(1, dtype=np.int64)
+        return z, _EMPTY, _EMPTY
+    row_sizes = indptr[vertex_cols + 1] - indptr[vertex_cols]
+    pivot = int(np.argmin(row_sizes.sum(axis=0)))
+    owner, values = gather_csr_rows(indptr, indices, vertex_cols[:, pivot])
+    mask = np.ones(len(values), dtype=bool)
+    for c in range(k):
+        if c != pivot:
+            mask &= bulk_contains_sorted(
+                edge_keys, vertex_cols[owner, c] * n_vertices + values
+            )
+    owner, values = owner[mask], values[mask]
+    scratch_indptr = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(owner, minlength=rows), out=scratch_indptr[1:])
+    return scratch_indptr, values, owner * n_vertices + values
+
+
+def refine_scratch_rows(
+    scratch_indptr: np.ndarray,
+    scratch_values: np.ndarray,
+    rows: np.ndarray,
+    edge_keys: np.ndarray,
+    new_cols: np.ndarray,
+    n_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bulk intersect-into-scratch: narrow selected scratch rows further.
+
+    Output row ``i`` is scratch row ``rows[i]`` intersected with the
+    neighbourhoods of ``new_cols[i]`` (shape ``(R, m)``) — how a pruned
+    auxiliary row chains into the next depth's even smaller row without
+    ever touching the full CSR rows again.  Returns a new scratch CSR
+    ``(indptr, values, keys)`` with one row per entry of ``rows``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    new_cols = np.asarray(new_cols, dtype=VERTEX_DTYPE)
+    if len(rows) == 0:
+        z = np.zeros(1, dtype=np.int64)
+        return z, _EMPTY, _EMPTY
+    starts = scratch_indptr[rows]
+    owner, values = gather_ranges(
+        scratch_values, starts, scratch_indptr[rows + 1] - starts
+    )
+    mask = np.ones(len(values), dtype=bool)
+    for c in range(new_cols.shape[1]):
+        mask &= bulk_contains_sorted(
+            edge_keys, new_cols[owner, c] * n_vertices + values
+        )
+    owner, values = owner[mask], values[mask]
+    out_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(np.bincount(owner, minlength=len(rows)), out=out_indptr[1:])
+    return out_indptr, values, owner * n_vertices + values
 
 
 KERNELS = {

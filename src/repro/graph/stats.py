@@ -77,6 +77,55 @@ def degree_histogram(graph: Graph) -> np.ndarray:
 
 
 @dataclass(frozen=True)
+class DegreeStats:
+    """Degree-only statistics: the cheap subset of :class:`GraphStats`.
+
+    The frontier engine's auxiliary-pruning cost gate runs *inside*
+    execution, where paying the triangle count behind :class:`GraphStats`
+    per engine build would defeat the optimisation.  This summary is
+    O(1) from the CSR header and approximates the paper's estimator
+    with the independence proxy ``p2 ≈ p1`` — a deliberate
+    *underestimate* of intersection sizes on clustered graphs, which
+    only makes the gate more conservative about materialising.
+    """
+
+    n_vertices: int
+    n_edges: int
+
+    @classmethod
+    def of(cls, graph: Graph) -> "DegreeStats":
+        return cls(n_vertices=graph.n_vertices, n_edges=graph.n_edges)
+
+    @property
+    def avg_degree(self) -> float:
+        return 2.0 * self.n_edges / self.n_vertices if self.n_vertices else 0.0
+
+    @property
+    def p1(self) -> float:
+        """P((a,b) ∈ E | a, b ∈ V) = 2|E| / |V|^2."""
+        if self.n_vertices == 0:
+            return 0.0
+        return 2.0 * self.n_edges / float(self.n_vertices) ** 2
+
+    def expected_pool_size(self, n_neighborhoods: int) -> float:
+        """E[|∩ of n neighbourhoods|] under the ``p2 ≈ p1`` proxy.
+
+        ``n = 1`` gives the average degree; each further neighbourhood
+        multiplies by ``p1`` (vs. the full model's ``p2``).
+        """
+        if n_neighborhoods < 0:
+            raise ValueError("n_neighborhoods must be >= 0")
+        if n_neighborhoods == 0:
+            return float(self.n_vertices)
+        return float(self.n_vertices) * self.p1**n_neighborhoods
+
+
+def degree_statistics(graph: Graph) -> DegreeStats:
+    """The degree-only summary feeding runtime cost gates."""
+    return DegreeStats.of(graph)
+
+
+@dataclass(frozen=True)
 class GraphStats:
     """The structural summary consumed by the performance model."""
 

@@ -149,8 +149,9 @@ def make_task_counter(
     root-range task, with the compiled-first fallback chain applied
     where the preferred strategy cannot serve the context:
 
-    * ``"vectorised"`` — one bulk frontier sweep per range (plain-mode,
-      IEP-free, connected-prefix plans); otherwise falls through to
+    * ``"vectorised"`` — one bulk frontier sweep per range (plain,
+      labeled or induced IEP-free, connected-prefix plans); otherwise
+      falls through to
     * ``"compiled"`` — the generated depth-1 prefix kernel, summed per
       root (plain :class:`~repro.core.config.ExecutionPlan` with at
       least two loops); otherwise
@@ -167,7 +168,12 @@ def make_task_counter(
     # Eligibility is the vectorised backend's own supports() predicate —
     # one definition of what the frontier engine covers, no drift.
     if inner == "vectorised" and VectorisedBackend().supports(ctx):
-        engine = FrontierEngine(ctx.graph, ctx.plan)
+        engine = FrontierEngine(
+            ctx.graph,
+            ctx.plan,
+            lpattern=ctx.lpattern if ctx.mode == "labeled" else None,
+            induced=ctx.mode == "induced",
+        )
         return engine.count_roots, "vectorised"
     worker = "compiled" if inner in ("vectorised", "compiled") else "interpreter"
     prefix_counter, effective = make_prefix_counter(ctx, 1, worker)

@@ -132,8 +132,25 @@ class TestSelection:
         assert chosen.name == "interpreter"
 
     def test_unsupported_mode_falls_back(self, er_small):
-        ctx = MatchContext(graph=er_small, plan=make_plan(house()), mode="induced")
+        # Directed contexts carry a DirectedPlan the generated kernels
+        # cannot execute; the selection policy must drop to the interpreter.
+        plan = DirectedMatcher(transitive_triangle()).plan(
+            random_digraph(20, 0.2, seed=1)
+        ).plan
+        ctx = MatchContext(graph=er_small, plan=plan, mode="directed")
         assert select_backend(ctx, "compiled").name == "interpreter"
+
+    def test_induced_and_labeled_stay_on_compiled(self, er_small):
+        # The anti-edge and label-filter kernels serve these modes now:
+        # no interpreter fallback for IEP-free plans.
+        ctx = MatchContext(graph=er_small, plan=make_plan(house()), mode="induced")
+        assert select_backend(ctx, "compiled").name == "compiled"
+        lg = assign_random_labels(er_small, 2, seed=7)
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        lctx = MatchContext(
+            graph=lg, plan=make_plan(triangle()), mode="labeled", lpattern=lp
+        )
+        assert select_backend(lctx, "compiled").name == "compiled"
 
     def test_explicit_instance_is_honoured(self, er_small):
         ctx = plain_context(er_small, make_plan(house()))
@@ -146,7 +163,16 @@ class TestSelection:
             get_backend("compiled").enumerate_embeddings(ctx)
 
     def test_require_raises_for_wrong_mode(self, er_small):
-        ctx = MatchContext(graph=er_small, plan=make_plan(triangle()), mode="induced")
+        ctx = MatchContext(graph=er_small, plan=make_plan(triangle()), mode="directed")
+        with pytest.raises(BackendUnsupportedError):
+            get_backend("compiled").count(ctx)
+
+    def test_require_raises_for_induced_iep_plan(self, er_small):
+        # IEP arithmetic assumes edge semantics; an IEP-suffix plan in an
+        # induced context must be refused, not silently miscounted.
+        ctx = MatchContext(
+            graph=er_small, plan=make_plan(house(), iep_k=2), mode="induced"
+        )
         with pytest.raises(BackendUnsupportedError):
             get_backend("compiled").count(ctx)
 

@@ -177,3 +177,84 @@ class TestPrefixKernels:
         assert kernel.split_depth == 1
         assert kernel.plan is plan
         assert "Worker kernel" in kernel.source
+
+
+class TestModeKernels:
+    """The labeled and induced kernel variants."""
+
+    def test_induced_source_uses_difference(self):
+        from repro.core.codegen import compile_induced_function
+
+        plan = plans_for(rectangle(), 1, 1)[0]
+        gen = compile_induced_function(plan)
+        assert gen.mode == "induced"
+        assert "difference(" in gen.source
+        assert "Vertex-induced kernel" in gen.source
+
+    def test_labeled_source_filters_by_label(self):
+        from repro.core.codegen import compile_labeled_function
+        from repro.pattern.labeled import LabeledPattern
+
+        plan = plans_for(triangle(), 1, 1)[0]
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        gen = compile_labeled_function(plan, lp)
+        assert gen.mode == "labeled"
+        assert "labels = graph.labels" in gen.source
+        assert "labels[" in gen.source
+
+    def test_plain_counter_mode_defaults_plain(self):
+        plan = plans_for(triangle(), 1, 1)[0]
+        assert compile_plan_function(plan).mode == "plain"
+
+    @pytest.mark.parametrize(
+        "pattern", [rectangle(), house()], ids=lambda p: p.name
+    )
+    def test_induced_kernel_matches_interpreter(self, pattern):
+        from repro.baselines.bruteforce import bruteforce_induced_count
+        from repro.core.codegen import compile_induced_function
+
+        g = erdos_renyi(35, 0.25, seed=23)
+        expected = bruteforce_induced_count(g, pattern)
+        for plan in plans_for(pattern, max_schedules=2, max_sets=2):
+            gen = compile_induced_function(plan)
+            assert gen(g) == expected, plan.config.describe()
+
+    @pytest.mark.parametrize(
+        "pattern", [triangle(), house()], ids=lambda p: p.name
+    )
+    def test_labeled_kernel_matches_bruteforce(self, pattern):
+        from repro.core.codegen import compile_labeled_function
+        from repro.core.labeled import labeled_bruteforce_count
+        from repro.graph.labeled import assign_random_labels
+        from repro.pattern.labeled import LabeledPattern
+
+        g = erdos_renyi(35, 0.25, seed=29)
+        lg = assign_random_labels(g, 2, seed=7)
+        lp = LabeledPattern(pattern, tuple(i % 2 for i in range(pattern.n_vertices)))
+        expected = labeled_bruteforce_count(lg, lp)
+        # restrictions must break only the label-preserving automorphisms,
+        # so the plan comes from the labeled planner (as in the session)
+        from repro.core.labeled import LabeledMatcher
+
+        plan = LabeledMatcher(lp).plan(lg, use_iep=False).plan
+        gen = compile_labeled_function(plan, lp)
+        assert gen(lg) == expected, plan.config.describe()
+
+    def test_variants_reject_iep_plans(self):
+        from repro.core.codegen import (
+            compile_induced_function,
+            compile_labeled_function,
+        )
+        from repro.pattern.labeled import LabeledPattern
+
+        plan = plans_for(house(), 1, 1, iep_k=2)[0]
+        with pytest.raises(ValueError, match="IEP-free"):
+            compile_induced_function(plan)
+        lp = LabeledPattern(house(), (0, 1, 0, 1, 0))
+        with pytest.raises(ValueError, match="IEP-free"):
+            compile_labeled_function(plan, lp)
+
+    def test_labeled_induced_combination_rejected(self):
+        plan = plans_for(triangle(), 1, 1)[0]
+        with pytest.raises(ValueError, match="not supported"):
+            generate_source(plan, depth_labels=(0, 0, 1), antideps=((), (), ()))

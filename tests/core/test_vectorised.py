@@ -10,9 +10,14 @@ Four layers of coverage:
 * cross-backend equivalence: every registered backend — vectorised
   included — over the fig2/catalog pattern set on generated *and*
   dataset graphs;
-* the fallback rules: IEP-suffix / labeled / induced / directed
-  contexts bounce to the interpreter, and capability-aware planning
-  gives the vectorised preference an IEP-free plan it can execute.
+* the fallback rules: IEP-suffix and directed contexts bounce to the
+  interpreter (labeled and induced are first-class now — anti-edge and
+  label masks run on the frontier), and capability-aware planning gives
+  the vectorised preference an IEP-free plan it can execute;
+* auxiliary-graph pruning: forced-on/off/auto engines agree with brute
+  force across the catalog, the scratch-CSR primitives match their
+  per-row reference intersections, and the weak-keyed edge-key cache
+  releases dropped graphs.
 """
 
 import numpy as np
@@ -160,6 +165,9 @@ class TestCrossBackendEquivalence:
         assert "vectorised" in backend_names()
         caps = available_backends()["vectorised"].capabilities
         assert caps.supports_mode("plain")
+        assert caps.supports_mode("labeled")
+        assert caps.supports_mode("induced")
+        assert not caps.supports_mode("directed")
         assert not caps.iep
         assert caps.enumeration
 
@@ -246,16 +254,20 @@ class TestFallbacks:
             backend.count(ctx)
         assert select_backend(ctx, "vectorised").name == "interpreter"
 
-    def test_induced_falls_back_but_counts_match(self, er_small):
+    def test_induced_counts_match_bruteforce(self, er_small):
         expected = bruteforce_induced_count(er_small, rectangle())
         assert induced_count(er_small, rectangle(), backend="vectorised") == expected
 
-    def test_induced_context_not_supported(self, er_small):
+    def test_induced_context_runs_on_the_frontier(self, er_small):
+        # The anti-edge masks made induced contexts first-class: no
+        # interpreter fallback for an IEP-free plan.
         ctx = MatchContext(
             graph=er_small, plan=make_plan(rectangle()), mode="induced"
         )
-        assert not get_backend("vectorised").supports(ctx)
-        assert select_backend(ctx, "vectorised").name == "interpreter"
+        backend = get_backend("vectorised")
+        assert backend.supports(ctx)
+        assert select_backend(ctx, "vectorised").name == "vectorised"
+        assert backend.count(ctx) == bruteforce_induced_count(er_small, rectangle())
 
     def test_frontier_engine_rejects_iep_plans(self, er_small):
         with pytest.raises(ValueError, match="IEP-free"):
@@ -279,3 +291,212 @@ class TestFallbacks:
         inst = get_backend("vectorised")
         assert capabilities_of(inst) is inst.capabilities
         assert capabilities_of("vectorised").iep is False
+
+
+# ---------------------------------------------------------------------------
+# auxiliary-graph pruning
+# ---------------------------------------------------------------------------
+class TestAuxiliaryPruning:
+    """Forced-on, forced-off and cost-gated engines must agree exactly.
+
+    ``aux=True`` skips the cost gate *and* the minimum-frontier-size
+    guard, so the scratch-CSR paths (group dedup and pool chaining) are
+    genuinely exercised even on the small fixtures here.
+    """
+
+    AUX_PATTERNS = [triangle(), rectangle(), house(), pentagon(), clique(4), clique(5)]
+
+    @pytest.mark.parametrize("pattern", AUX_PATTERNS, ids=lambda p: p.name)
+    def test_aux_modes_agree_generated_graph(self, er_small, pattern):
+        expected = bruteforce_count(er_small, pattern)
+        plan = make_plan(pattern)
+        for aux in (False, True, "auto"):
+            got = FrontierEngine(er_small, plan, aux=aux).count()
+            assert got == expected, (aux, pattern.name)
+
+    @pytest.mark.parametrize("pattern", AUX_PATTERNS, ids=lambda p: p.name)
+    def test_aux_modes_agree_dataset_graph(self, dataset_graph, pattern):
+        plan = make_plan(pattern)
+        baseline = FrontierEngine(dataset_graph, plan, aux=False).count()
+        for aux in (True, "auto"):
+            got = FrontierEngine(dataset_graph, plan, aux=aux).count()
+            assert got == baseline, (aux, pattern.name)
+
+    def test_aux_respects_root_chunking(self, er_small):
+        plan = make_plan(clique(4))
+        expected = bruteforce_count(er_small, clique(4))
+        assert FrontierEngine(er_small, plan, aux=True, root_chunk=5).count() == expected
+
+    def test_aux_enumeration_order_unchanged(self, er_small):
+        plan = make_plan(house())
+        direct = list(FrontierEngine(er_small, plan, aux=False).enumerate_embeddings())
+        pooled = list(FrontierEngine(er_small, plan, aux=True).enumerate_embeddings())
+        assert direct == pooled  # same embeddings, same DFS order
+
+    def test_aux_backend_option_plumbs_through(self, er_small):
+        expected = bruteforce_count(er_small, clique(4))
+        for aux in (False, True, "auto"):
+            backend = get_backend("vectorised", aux=aux)
+            got = count_pattern(er_small, clique(4), backend=backend)
+            assert got == expected, aux
+
+    def test_invalid_aux_rejected(self, er_small):
+        with pytest.raises(ValueError, match="aux"):
+            FrontierEngine(er_small, make_plan(triangle()), aux="always")
+
+
+# ---------------------------------------------------------------------------
+# labeled and induced frontier execution
+# ---------------------------------------------------------------------------
+class TestLabeledInducedFrontier:
+    @pytest.fixture(scope="class")
+    def labeled_graph(self, er_small):
+        from repro.graph.labeled import assign_random_labels
+
+        return assign_random_labels(er_small, 2, seed=7)
+
+    @pytest.mark.parametrize(
+        "pattern", [triangle(), rectangle(), house()], ids=lambda p: p.name
+    )
+    def test_labeled_counts_match_interpreter(self, labeled_graph, pattern):
+        from repro.pattern.labeled import LabeledPattern
+
+        lp = LabeledPattern(
+            pattern, tuple(i % 2 for i in range(pattern.n_vertices))
+        )
+        query = MatchQuery(lp)
+        expected = int(match_query(labeled_graph, query, backend="interpreter"))
+        for aux in (False, True, "auto"):
+            got = int(
+                match_query(labeled_graph, query, backend=get_backend("vectorised", aux=aux))
+            )
+            assert got == expected, (aux, pattern.name)
+
+    def test_labeled_query_executes_on_vectorised(self, labeled_graph):
+        from repro.pattern.labeled import LabeledPattern
+
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        result = match_query(labeled_graph, MatchQuery(lp), backend="vectorised")
+        assert result.backend == "vectorised"
+
+    @pytest.mark.parametrize(
+        "pattern", [rectangle(), house()], ids=lambda p: p.name
+    )
+    def test_induced_counts_match_bruteforce(self, er_small, pattern):
+        expected = bruteforce_induced_count(er_small, pattern)
+        for aux in (False, True, "auto"):
+            got = induced_count(
+                er_small, pattern, backend=get_backend("vectorised", aux=aux)
+            )
+            assert got == expected, (aux, pattern.name)
+
+    def test_labeled_engine_requires_labeled_graph(self, er_small):
+        from repro.pattern.labeled import LabeledPattern
+
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        plan = make_plan(triangle())
+        with pytest.raises(TypeError, match="LabeledGraph"):
+            FrontierEngine(er_small, plan, lpattern=lp)
+
+    def test_labeled_induced_combination_rejected(self, labeled_graph):
+        from repro.pattern.labeled import LabeledPattern
+
+        lp = LabeledPattern(triangle(), (0, 0, 1))
+        plan = make_plan(triangle())
+        with pytest.raises(ValueError, match="not supported"):
+            FrontierEngine(labeled_graph, plan, lpattern=lp, induced=True)
+
+
+# ---------------------------------------------------------------------------
+# enumeration limit semantics at chunk boundaries
+# ---------------------------------------------------------------------------
+class TestEnumerationLimits:
+    def all_embeddings(self, er_small, plan):
+        return list(FrontierEngine(er_small, plan).enumerate_embeddings())
+
+    def test_limit_zero_yields_nothing(self, er_small):
+        engine = FrontierEngine(er_small, make_plan(triangle()))
+        assert list(engine.enumerate_embeddings(limit=0)) == []
+
+    def test_limit_exactly_on_chunk_edge(self, er_small):
+        """Pin root_chunk low so the limit lands exactly where the first
+        chunk's yields end — no extra chunk may leak into the output."""
+        plan = make_plan(triangle())
+        full = self.all_embeddings(er_small, plan)
+        engine = FrontierEngine(er_small, plan, root_chunk=4)
+        # yields up to each 4-root chunk edge; pick an interior edge
+        # (restrictions can leave early root chunks empty)
+        edges = [
+            engine.count_roots(np.arange(k))
+            for k in range(4, er_small.n_vertices, 4)
+        ]
+        boundary = next(c for c in edges if 0 < c < len(full))
+        got = list(engine.enumerate_embeddings(limit=boundary))
+        assert got == full[:boundary]
+
+    def test_limit_spanning_chunks(self, er_small):
+        plan = make_plan(triangle())
+        full = self.all_embeddings(er_small, plan)
+        want = min(len(full), 17)
+        got = list(
+            FrontierEngine(er_small, plan, root_chunk=3).enumerate_embeddings(
+                limit=want
+            )
+        )
+        assert got == full[:want]
+
+    def test_limit_beyond_total_is_everything(self, er_small):
+        plan = make_plan(rectangle())
+        full = self.all_embeddings(er_small, plan)
+        got = list(
+            FrontierEngine(er_small, plan).enumerate_embeddings(
+                limit=len(full) + 1000
+            )
+        )
+        assert got == full
+
+    def test_mask_empty_lower_only(self):
+        front = np.array([[5, 2], [1, 8]])
+        owner = np.array([0, 0, 1])
+        cand = np.array([3, 9, 4])
+        got = restriction_mask(front, owner, cand, (), (0, 1))
+        assert got.tolist() == [
+            bool(3 < 5 and 3 < 2),
+            bool(9 < 5 and 9 < 2),
+            bool(4 < 1 and 4 < 8),
+        ]
+
+    def test_mask_empty_upper_only(self):
+        front = np.array([[5, 2], [1, 8]])
+        owner = np.array([0, 1, 1])
+        cand = np.array([6, 0, 9])
+        got = restriction_mask(front, owner, cand, (0,), ())
+        assert got.tolist() == [True, False, True]
+
+
+# ---------------------------------------------------------------------------
+# the weak-keyed edge-key cache
+# ---------------------------------------------------------------------------
+class TestEdgeKeyCache:
+    def test_cache_hits_for_live_graph(self):
+        from repro.core.vectorised import _graph_edge_keys
+
+        g = erdos_renyi(30, 0.2, seed=9)
+        first = _graph_edge_keys(g)
+        assert _graph_edge_keys(g) is first
+
+    def test_dropped_graph_is_released(self):
+        import gc
+        import weakref
+
+        from repro.core.vectorised import _EDGE_KEY_CACHE, _graph_edge_keys
+
+        g = erdos_renyi(30, 0.2, seed=10)
+        _graph_edge_keys(g)
+        ref = weakref.ref(g)
+        assert any(k is g for k in _EDGE_KEY_CACHE.keys())
+        del g
+        gc.collect()
+        # the cache held only a weak reference: the graph (and with it
+        # the O(E) key array entry) is gone, not pinned like lru_cache(8)
+        assert ref() is None

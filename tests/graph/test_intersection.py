@@ -152,6 +152,163 @@ class TestBoundedSlice:
         assert bounded_slice(a, 2, 6).tolist() == [4]
 
 
+class TestAdaptiveDispatch:
+    """``intersect`` must actually dispatch, with the documented threshold.
+
+    The threshold itself (gallop only for a single probe into a row of
+    at most ``GALLOP_MAX_LARGE`` elements with a > 32x imbalance) is
+    backed by the micro-benchmark in
+    ``benchmarks/bench_ablation_intersection.py`` — its tiny-probe shape
+    shows galloping beating the vectorised kernel's fixed call overhead
+    there, and its tiny/huge shape shows why the absolute cap exists
+    (past a few hundred elements the C-level binary search always wins,
+    however extreme the ratio).
+    """
+
+    @pytest.fixture()
+    def recorded(self, monkeypatch):
+        import repro.graph.intersection as mod
+
+        calls = []
+        real_gallop = mod.intersect_galloping
+        real_search = mod.intersect_searchsorted
+        monkeypatch.setattr(
+            mod,
+            "intersect_galloping",
+            lambda a, b: calls.append("galloping") or real_gallop(a, b),
+        )
+        monkeypatch.setattr(
+            mod,
+            "intersect_searchsorted",
+            lambda a, b: calls.append("searchsorted") or real_search(a, b),
+        )
+        return calls
+
+    def dispatched(self, calls, a, b):
+        from repro.graph.intersection import intersect
+
+        calls.clear()
+        intersect(a, b)
+        assert len(calls) == 1
+        return calls[0]
+
+    def test_balanced_uses_searchsorted(self, recorded):
+        a = np.arange(0, 3000, 3, dtype=VERTEX_DTYPE)
+        b = np.arange(0, 2000, 2, dtype=VERTEX_DTYPE)
+        assert self.dispatched(recorded, a, b) == "searchsorted"
+
+    def test_tiny_probe_gallops_either_argument_order(self, recorded):
+        small = arr(90)
+        large = np.arange(0, 400, dtype=VERTEX_DTYPE)
+        assert self.dispatched(recorded, small, large) == "galloping"
+        assert self.dispatched(recorded, large, small) == "galloping"
+
+    def test_ratio_boundary(self, recorded):
+        from repro.graph.intersection import GALLOP_MAX_SMALL, GALLOP_RATIO
+
+        small = np.arange(GALLOP_MAX_SMALL, dtype=VERTEX_DTYPE)
+        at_ratio = np.arange(GALLOP_MAX_SMALL * GALLOP_RATIO, dtype=VERTEX_DTYPE)
+        over = np.arange(GALLOP_MAX_SMALL * GALLOP_RATIO + 1, dtype=VERTEX_DTYPE)
+        assert self.dispatched(recorded, small, at_ratio) == "searchsorted"
+        assert self.dispatched(recorded, small, over) == "galloping"
+
+    def test_small_side_cap(self, recorded):
+        from repro.graph.intersection import GALLOP_MAX_LARGE, GALLOP_MAX_SMALL
+
+        not_tiny = np.arange(GALLOP_MAX_SMALL + 1, dtype=VERTEX_DTYPE)
+        row = np.arange(GALLOP_MAX_LARGE, dtype=VERTEX_DTYPE)
+        assert self.dispatched(recorded, not_tiny, row) == "searchsorted"
+
+    def test_large_side_cap(self, recorded):
+        # An extreme ratio alone is not enough: past the absolute cap the
+        # vectorised kernel's C-level search wins regardless.
+        from repro.graph.intersection import GALLOP_MAX_LARGE
+
+        tiny = arr(90)
+        over = np.arange(GALLOP_MAX_LARGE + 1, dtype=VERTEX_DTYPE)
+        at_cap = np.arange(GALLOP_MAX_LARGE, dtype=VERTEX_DTYPE)
+        assert self.dispatched(recorded, tiny, over) == "searchsorted"
+        assert self.dispatched(recorded, tiny, at_cap) == "galloping"
+
+    def test_empty_short_circuits_without_dispatch(self, recorded):
+        assert intersect(arr(), arr(1, 2)).tolist() == []
+        assert intersect(arr(1, 2), arr()).tolist() == []
+        assert recorded == []
+
+
+class TestScratchPrimitives:
+    """The auxiliary-pruning scratch-CSR builders against per-row references."""
+
+    def _reference_rows(self, graph, vertex_cols):
+        return [
+            intersect_many([graph.neighbors(int(v)) for v in row])
+            for row in vertex_cols
+        ]
+
+    @pytest.mark.parametrize("n_deps", [2, 3])
+    def test_bulk_intersect_rows_matches_intersect_many(self, er_small, n_deps):
+        from repro.graph.intersection import bulk_intersect_rows, sorted_edge_keys
+
+        n = er_small.n_vertices
+        rng = np.random.default_rng(17)
+        vertex_cols = rng.integers(0, n, size=(50, n_deps))
+        edge_keys = sorted_edge_keys(er_small.indptr, er_small.indices)
+        indptr, values, keys = bulk_intersect_rows(
+            er_small.indptr, er_small.indices, edge_keys, vertex_cols, n
+        )
+        assert len(indptr) == len(vertex_cols) + 1
+        for r, expected in enumerate(self._reference_rows(er_small, vertex_cols)):
+            got = values[indptr[r] : indptr[r + 1]]
+            assert got.tolist() == expected.tolist(), r
+        # the keyed layout the windowing search relies on
+        assert np.array_equal(
+            keys, np.repeat(np.arange(50), np.diff(indptr)) * n + values
+        )
+        assert np.all(np.diff(keys) > 0)
+
+    def test_bulk_intersect_rows_empty(self, er_small):
+        from repro.graph.intersection import bulk_intersect_rows, sorted_edge_keys
+
+        edge_keys = sorted_edge_keys(er_small.indptr, er_small.indices)
+        indptr, values, keys = bulk_intersect_rows(
+            er_small.indptr,
+            er_small.indices,
+            edge_keys,
+            np.empty((0, 2), dtype=np.int64),
+            er_small.n_vertices,
+        )
+        assert indptr.tolist() == [0] and len(values) == 0 and len(keys) == 0
+
+    def test_refine_scratch_rows_matches_reference(self, er_small):
+        from repro.graph.intersection import (
+            bulk_intersect_rows,
+            refine_scratch_rows,
+            sorted_edge_keys,
+        )
+
+        n = er_small.n_vertices
+        rng = np.random.default_rng(23)
+        edge_keys = sorted_edge_keys(er_small.indptr, er_small.indices)
+        base_cols = rng.integers(0, n, size=(30, 2))
+        pool = bulk_intersect_rows(
+            er_small.indptr, er_small.indices, edge_keys, base_cols, n
+        )
+        # refine a shuffled selection of pool rows with one more column
+        rows = rng.integers(0, 30, size=45)
+        new_cols = rng.integers(0, n, size=(45, 1))
+        indptr, values, keys = refine_scratch_rows(
+            pool[0], pool[1], rows, edge_keys, new_cols, n
+        )
+        for i in range(45):
+            expected = intersect_many(
+                [er_small.neighbors(int(v)) for v in base_cols[rows[i]]]
+                + [er_small.neighbors(int(new_cols[i, 0]))]
+            )
+            got = values[indptr[i] : indptr[i + 1]]
+            assert got.tolist() == expected.tolist(), i
+        assert np.all(np.diff(keys) > 0)
+
+
 def test_kernel_registry_complete():
     assert set(KERNELS) == {"merge", "searchsorted", "galloping", "adaptive"}
 

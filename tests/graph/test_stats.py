@@ -6,9 +6,11 @@ import pytest
 from repro.graph.builder import graph_from_edges
 from repro.graph.generators import complete_graph, erdos_renyi
 from repro.graph.stats import (
+    DegreeStats,
     GraphStats,
     _triangle_count_merge,
     degree_histogram,
+    degree_statistics,
     global_clustering,
     triangle_count,
     wedge_count,
@@ -103,3 +105,46 @@ class TestGraphStats:
 
         s = GraphStats.of(empty_graph(4))
         assert s.p1 == 0.0 and s.p2 == 0.0 and s.avg_degree == 0.0
+
+
+class TestDegreeStats:
+    """The O(1) degree-only summary feeding runtime cost gates."""
+
+    def test_matches_graphstats_on_shared_quantities(self):
+        g = erdos_renyi(120, 0.1, seed=3)
+        full = GraphStats.of(g)
+        cheap = degree_statistics(g)
+        assert cheap.n_vertices == full.n_vertices
+        assert cheap.n_edges == full.n_edges
+        assert cheap.avg_degree == pytest.approx(full.avg_degree)
+        assert cheap.p1 == pytest.approx(full.p1)
+
+    def test_expected_pool_size_base_cases(self):
+        s = DegreeStats.of(complete_graph(10))
+        assert s.expected_pool_size(0) == 10.0
+        assert s.expected_pool_size(1) == pytest.approx(10.0 * s.p1)
+
+    def test_expected_pool_size_agrees_with_full_estimator_at_one(self):
+        # The proxy and the paper's estimator coincide at n=1 (both are
+        # V * p1); beyond that they diverge only through p2 vs p1.
+        g = erdos_renyi(150, 0.15, seed=11)
+        full = GraphStats.of(g)
+        cheap = DegreeStats.of(g)
+        assert cheap.expected_pool_size(1) == pytest.approx(
+            full.expected_candidate_size(1)
+        )
+
+    def test_expected_pool_size_decreases(self):
+        s = DegreeStats.of(erdos_renyi(200, 0.08, seed=5))
+        sizes = [s.expected_pool_size(k) for k in range(4)]
+        assert all(sizes[i] >= sizes[i + 1] for i in range(3))
+
+    def test_negative_neighborhoods_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeStats.of(complete_graph(4)).expected_pool_size(-1)
+
+    def test_empty_graph(self):
+        from repro.graph.generators import empty_graph
+
+        s = degree_statistics(empty_graph(5))
+        assert s.avg_degree == 0.0 and s.p1 == 0.0

@@ -204,11 +204,29 @@ class TestTaskCounter:
         _, effective = make_task_counter(ctx, "vectorised")
         assert effective == "compiled"
 
-    def test_nonplain_mode_falls_back_to_interpreter(self, er_small):
+    def test_induced_mode_stays_vectorised_with_induced_counts(self, er_small):
+        # The frontier engine serves induced contexts directly now; the
+        # task counter must thread the mode through (a plain-semantics
+        # engine here would return silently wrong partial sums).
+        from repro.baselines.bruteforce import bruteforce_induced_count
         from repro.core.backend import MatchContext
 
         plain = plan_ctx(er_small, house())
         ctx = MatchContext(graph=er_small, plan=plain.plan, mode="induced")
+        counter, effective = make_task_counter(ctx, "vectorised")
+        assert effective == "vectorised"
+        total = counter(list(range(er_small.n_vertices)))
+        assert total == bruteforce_induced_count(er_small, house())
+
+    def test_directed_mode_falls_back_to_interpreter(self, er_small):
+        from repro.core.directed import DirectedMatcher
+        from repro.graph.digraph import random_digraph
+        from repro.pattern.directed import transitive_triangle
+        from repro.core.backend import MatchContext
+
+        dg = random_digraph(20, 0.2, seed=1)
+        plan = DirectedMatcher(transitive_triangle()).plan(dg).plan
+        ctx = MatchContext(graph=dg, plan=plan, mode="directed")
         _, effective = make_task_counter(ctx, "vectorised")
         assert effective == "interpreter"
 
@@ -271,12 +289,18 @@ class TestCapabilityFallbacks:
                 get_backend(name).enumerate_embeddings(ctx)
 
     def test_unsupported_mode_raises_naming_the_backend(self, er_small):
+        # directed is the one mode the compiled backend still refuses
+        # (induced/labeled run on its kernel variants now).
         from repro.core.backend import MatchContext
+        from repro.core.directed import DirectedMatcher
+        from repro.graph.digraph import random_digraph
+        from repro.pattern.directed import transitive_triangle
 
-        plan = plan_ctx(er_small, house()).plan
-        induced = MatchContext(graph=er_small, plan=plan, mode="induced")
+        dg = random_digraph(20, 0.2, seed=1)
+        plan = DirectedMatcher(transitive_triangle()).plan(dg).plan
+        directed = MatchContext(graph=dg, plan=plan, mode="directed")
         with pytest.raises(BackendUnsupportedError, match="compiled"):
-            get_backend("compiled").count(induced)
+            get_backend("compiled").count(directed)
 
     def test_session_enumerate_falls_back_per_capabilities(self, er_small):
         """`enumerate` on counting-only backends degrades, never crashes."""
