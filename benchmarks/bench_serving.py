@@ -1,0 +1,277 @@
+"""Serving runtime: memoisation payoff, concurrency sweep, backpressure.
+
+Three experiments against :class:`~repro.serving.MatchService`:
+
+1. **Memoisation payoff** — a repeated-query trace (every pattern
+   queried once cold, then many times warm).  The warm repeats must be
+   memo hits (hit ratio > MEMO_RATIO_FLOOR over the whole trace) and
+   the warm p50 latency must sit at least ``WARM_SPEEDUP_FLOOR`` times
+   under the cold p50: a memo hit returns a stored value under one lock
+   acquisition instead of re-executing a compiled plan.
+2. **Concurrency sweep** — one synthetic mixed count/enumerate trace
+   replayed open-loop at several worker-pool sizes with memoisation
+   *off*, so the sweep measures raw execution throughput (QPS) and
+   latency percentiles rather than cache performance.
+3. **Backpressure profile** — a burst of slow jobs (an event-gated
+   executor pins the workers) against several queue limits; the service
+   must shed exactly the overflow, deterministically:
+   ``rejected = burst - queue_limit - n_workers``.
+
+Every served count in experiment 1 is checked against a direct
+:func:`~repro.core.session.get_session` count on the job's own frozen
+graph — the zero-wrong-counts gate CI runs in quick mode.
+
+Outputs: aligned tables, a TSV under ``benchmarks/results/`` and
+``BENCH_serving.json`` in the repo root.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.session import get_session
+from repro.pattern.catalog import house, rectangle, triangle
+from repro.serving import (
+    MatchRequest,
+    MatchService,
+    ServiceOverloaded,
+    latency_percentiles,
+    replay_trace,
+    synthetic_trace,
+)
+from repro.utils.tables import Table, format_seconds
+
+from _common import QUICK, bench_graph, emit, emit_json
+
+DATASET = "wiki-vote"
+SCALE = 0.08 if QUICK else 0.15
+
+PATTERNS = {"triangle": triangle, "rectangle": rectangle, "house": house}
+
+#: warm repeats per pattern in the memoisation trace.
+WARM_REPEATS = 4 if QUICK else 16
+
+#: synthetic-trace length and worker sweep for the concurrency run.
+SWEEP_OPS = 24 if QUICK else 96
+SWEEP_WORKERS = [1, 2] if QUICK else [1, 2, 4]
+
+#: backpressure burst size and the queue limits profiled against it.
+BURST = 12 if QUICK else 32
+QUEUE_LIMITS = [1, 4] if QUICK else [1, 4, 16]
+
+#: acceptance floors (ISSUE 7): the repeated-query trace must be
+#: mostly memo hits, and a warm hit must be at least this much faster
+#: than a cold execution.
+MEMO_RATIO_FLOOR = 0.5
+WARM_SPEEDUP_FLOOR = 10.0
+
+SEED = 2020
+
+
+# -- experiment 1: memoisation payoff ---------------------------------------
+def run_memo_experiment(graph) -> dict:
+    wrong = 0
+    with MatchService(n_workers=2) as svc:
+        svc.add_graph("default", graph)
+        cold = []
+        for builder in PATTERNS.values():
+            handle = svc.count(builder())
+            handle.result()
+            cold.append(handle)
+        warm = []
+        for _ in range(WARM_REPEATS):
+            for builder in PATTERNS.values():
+                warm.append(svc.count(builder()))
+        for handle in warm:
+            handle.result()
+        stats = svc.stats()
+        # the zero-wrong-counts gate: every served count equals a direct
+        # session count on the same frozen graph.
+        for handle in cold + warm:
+            expected = int(get_session(handle.graph).count(handle.request.query))
+            if handle.result() != expected:  # pragma: no cover - gate
+                wrong += 1
+    cold_p50, cold_p99 = latency_percentiles([h.latency for h in cold])
+    warm_p50, warm_p99 = latency_percentiles([h.latency for h in warm])
+    return {
+        "patterns": sorted(PATTERNS),
+        "warm_repeats": WARM_REPEATS,
+        "cold_p50_s": cold_p50,
+        "cold_p99_s": cold_p99,
+        "warm_p50_s": warm_p50,
+        "warm_p99_s": warm_p99,
+        "warm_speedup_p50": cold_p50 / warm_p50 if warm_p50 else float("inf"),
+        "memo_hits": stats.memo.hits,
+        "memo_misses": stats.memo.misses,
+        "memo_collapsed": stats.memo.collapsed,
+        "memo_hit_ratio": stats.memo_hit_ratio,
+        "wrong_counts": wrong,
+    }
+
+
+# -- experiment 2: concurrency sweep ----------------------------------------
+def run_concurrency_sweep(graph) -> dict:
+    ops = synthetic_trace(
+        sorted(PATTERNS), SWEEP_OPS, enumerate_ratio=0.25,
+        enumerate_limit=50, seed=SEED,
+    )
+    rows = {}
+    for n_workers in SWEEP_WORKERS:
+        # memoisation off: measure executions, not cache lookups.
+        svc = MatchService(n_workers=n_workers, queue_limit=SWEEP_OPS,
+                           memoise=False)
+        svc.add_graph("default", graph)
+        t0 = time.perf_counter()
+        outcome = replay_trace(svc, ops)
+        outcome.wait()
+        elapsed = time.perf_counter() - t0
+        done = [h for h in outcome.handles if h.state == "done"]
+        p50, p99 = latency_percentiles([h.latency for h in done])
+        svc.close()
+        rows[str(n_workers)] = {
+            "n_workers": n_workers,
+            "jobs": len(outcome.handles),
+            "done": len(done),
+            "seconds": elapsed,
+            "qps": len(done) / elapsed if elapsed else 0.0,
+            "p50_s": p50,
+            "p99_s": p99,
+        }
+    return {"n_ops": SWEEP_OPS, "workers": rows}
+
+
+# -- experiment 3: backpressure profile -------------------------------------
+def run_backpressure_profile() -> dict:
+    """Deterministic shedding: a gated executor pins every worker."""
+    gate = threading.Event()
+    started = threading.Event()
+
+    def gated_executor(graph, request, cancel_event):
+        started.set()
+        gate.wait(30)
+        return 0
+
+    tiny = bench_graph(DATASET, scale=0.02)
+    request = MatchRequest("count", triangle())
+    rows = {}
+    for queue_limit in QUEUE_LIMITS:
+        gate.clear()
+        started.clear()
+        svc = MatchService(n_workers=1, queue_limit=queue_limit,
+                           memoise=False, executor=gated_executor)
+        svc.add_graph("default", tiny)
+        # pin the worker first so the burst contends for queue slots only
+        svc.submit(request)
+        assert started.wait(30), "worker never picked up the pinning job"
+        rejected = 0
+        for _ in range(BURST):
+            try:
+                svc.submit(request)
+            except ServiceOverloaded:
+                rejected += 1
+        stats = svc.stats()
+        gate.set()
+        svc.close()
+        rows[str(queue_limit)] = {
+            "queue_limit": queue_limit,
+            "burst": BURST,
+            "admitted": BURST - rejected,
+            "rejected": rejected,
+            "expected_rejected": BURST - queue_limit,
+            "stats_rejected": stats.rejected,
+        }
+    return {"burst": BURST, "queue_limits": rows}
+
+
+def run_serving_bench() -> dict:
+    graph = bench_graph(DATASET, scale=SCALE)
+    return {
+        "graph": repr(graph),
+        "dataset": DATASET,
+        "scale": SCALE,
+        "quick": QUICK,
+        "memo": run_memo_experiment(graph),
+        "concurrency": run_concurrency_sweep(graph),
+        "backpressure": run_backpressure_profile(),
+        "memo_ratio_floor": MEMO_RATIO_FLOOR,
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+    }
+
+
+def _render(results: dict, capsys=None) -> dict:
+    suffix = ", quick" if QUICK else ""
+    memo = results["memo"]
+    t1 = Table(
+        ["phase", "jobs", "p50", "p99"],
+        title=(
+            f"memoised serving on {DATASET} proxy "
+            f"({len(memo['patterns'])} patterns x {memo['warm_repeats']} "
+            f"warm repeats{suffix})"
+        ),
+    )
+    n_patterns = len(memo["patterns"])
+    t1.add_row(["cold", n_patterns, format_seconds(memo["cold_p50_s"]),
+                format_seconds(memo["cold_p99_s"])])
+    t1.add_row(["warm (memo)", n_patterns * memo["warm_repeats"],
+                format_seconds(memo["warm_p50_s"]),
+                format_seconds(memo["warm_p99_s"])])
+    t1.add_row(["p50 speedup", f"{memo['warm_speedup_p50']:.0f}x",
+                f"hit ratio {memo['memo_hit_ratio']:.2f}",
+                f"wrong {memo['wrong_counts']}"])
+    emit(t1, capsys, "bench_serving_memo.tsv")
+
+    t2 = Table(
+        ["workers", "jobs", "QPS", "p50", "p99"],
+        title=f"concurrency sweep, memoisation off ({results['concurrency']['n_ops']} ops)",
+    )
+    for row in results["concurrency"]["workers"].values():
+        t2.add_row([row["n_workers"], row["done"], f"{row['qps']:.0f}",
+                    format_seconds(row["p50_s"]), format_seconds(row["p99_s"])])
+    emit(t2, capsys, "bench_serving_sweep.tsv")
+
+    t3 = Table(
+        ["queue limit", "burst", "admitted", "rejected", "expected"],
+        title="backpressure-rejection profile (1 pinned worker)",
+    )
+    for row in results["backpressure"]["queue_limits"].values():
+        t3.add_row([row["queue_limit"], row["burst"], row["admitted"],
+                    row["rejected"], row["expected_rejected"]])
+    emit(t3, capsys, "bench_serving_backpressure.tsv")
+
+    emit_json("BENCH_serving.json", results)
+    return results
+
+
+def _assert_floors(results: dict) -> None:
+    memo = results["memo"]
+    assert memo["wrong_counts"] == 0, (
+        f"{memo['wrong_counts']} served counts disagree with direct "
+        "MatchSession execution"
+    )
+    assert memo["memo_hit_ratio"] > MEMO_RATIO_FLOOR, (
+        f"memo hit ratio {memo['memo_hit_ratio']:.2f} on the "
+        f"repeated-query trace is below the {MEMO_RATIO_FLOOR} floor"
+    )
+    assert memo["warm_speedup_p50"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm memoised p50 is only {memo['warm_speedup_p50']:.1f}x under "
+        f"cold execution (floor {WARM_SPEEDUP_FLOOR}x)"
+    )
+    for row in results["backpressure"]["queue_limits"].values():
+        assert row["rejected"] == row["expected_rejected"], (
+            f"queue limit {row['queue_limit']}: shed {row['rejected']} of a "
+            f"{row['burst']}-job burst, expected {row['expected_rejected']}"
+        )
+        assert row["stats_rejected"] == row["rejected"]
+
+
+def test_serving(benchmark, capsys):
+    from _common import once
+
+    results = once(benchmark, run_serving_bench)
+    _render(results, capsys)
+    _assert_floors(results)
+
+
+if __name__ == "__main__":
+    _assert_floors(_render(run_serving_bench()))

@@ -95,6 +95,25 @@ def main() -> None:
           f"(insert/delete round-trip delta {delta.deltas[tri.name]:+d})")
     assert stream.counts() == stream.expected_counts()
 
+    # Serving: the same sessions behind an async job queue.  Submit
+    # returns a handle; repeating a query on an unchanged graph is a
+    # memo hit (no re-execution), and `await handle` works from any
+    # event loop (see docs/architecture.md, "Serving runtime").
+    from repro import MatchService
+
+    print("\n--- matching-as-a-service ---")
+    with MatchService(n_workers=2) as service:
+        service.add_graph("default", graph)
+        handle = service.count(get_pattern("house"))
+        print(f"served count     : {handle.result(timeout=60)}")
+        repeat = service.count(get_pattern("house"))
+        print(f"repeat (memoised): {repeat.result(timeout=60)} "
+              f"in {repeat.latency * 1e6:.0f} us")
+        stats = service.stats()
+        print(f"service stats    : {stats.describe()}")
+        assert handle.result() == cold.count == repeat.result()
+        assert stats.memo.hits == 1
+
 
 if __name__ == "__main__":
     main()

@@ -37,6 +37,13 @@ from repro.runtime.distributed import (
     distributed_count_ctx,
 )
 from repro.graph.dynamic import DynamicGraph
+from repro.serving import (
+    JobHandle,
+    MatchRequest,
+    MatchService,
+    ReplicaRegistry,
+    ServiceOverloaded,
+)
 from repro.streaming import StreamReport, StreamSession, WatchHandle
 
 __version__ = "1.0.0"
@@ -76,6 +83,11 @@ __all__ = [
     "DistributedReport",
     "distributed_count_ctx",
     "DynamicGraph",
+    "JobHandle",
+    "MatchRequest",
+    "MatchService",
+    "ReplicaRegistry",
+    "ServiceOverloaded",
     "StreamReport",
     "StreamSession",
     "WatchHandle",

@@ -22,6 +22,11 @@ stream   replay an edge-churn file (`+ u v` / `- u v` lines) against a
          dataset, maintaining exact pattern counts incrementally via
          the streaming subsystem — per-batch live table, final summary,
          and a full-recount verification (--no-verify to skip)
+serve    drive the matching-as-a-service runtime: replay a mixed
+         count/enumerate/churn trace file (or a --synthetic workload)
+         through a MatchService worker pool — per-kind summary,
+         latency p50/p99, memo/backpressure stats, and a verification
+         of every count against a direct MatchSession call
 backends list the registered execution backends
 datasets list the built-in dataset proxies
 patterns list the built-in patterns
@@ -391,6 +396,126 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.core.session import get_session as _get_session
+    from repro.graph.dynamic import DynamicGraph
+    from repro.serving import (
+        MatchService,
+        latency_percentiles,
+        read_trace_file,
+        replay_trace,
+        synthetic_trace,
+    )
+
+    if (args.trace is None) == (args.synthetic is None):
+        print("error: exactly one of --trace or --synthetic is required",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.queue_limit < 1:
+        print("error: --workers and --queue-limit must be >= 1", file=sys.stderr)
+        return 2
+    graph = _load_graph(args)
+    dyn = DynamicGraph.from_graph(graph)
+    if args.trace is not None:
+        try:
+            ops = read_trace_file(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        names = [p.strip() for p in args.pattern.split(",") if p.strip()]
+        try:
+            for name in names:
+                get_pattern(name)  # fail fast on unknown names
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ops = synthetic_trace(
+            names,
+            args.synthetic,
+            churn_every=args.churn_every,
+            n_vertices=dyn.n_vertices,
+            avoid_edges=set(dyn.edges()),
+            seed=args.seed,
+        )
+    service = MatchService(
+        n_workers=args.workers, queue_limit=args.queue_limit
+    )
+    service.add_graph("default", dyn)
+    watches = []
+    for name in [p.strip() for p in args.watch.split(",") if p.strip()]:
+        try:
+            watches.append(service.watch(get_pattern(name)))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    print(f"graph:   {graph}")
+    print(f"service: {args.workers} workers, queue limit {args.queue_limit}")
+    print(f"trace:   {len(ops)} operations "
+          f"({'file ' + args.trace if args.trace else 'synthetic'})")
+    for w in watches:
+        print(f"watch:   {w.name}: initial count {w.count}")
+
+    t0 = time.perf_counter()
+    try:
+        outcome = replay_trace(service, ops)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        service.close()
+        return 2
+    outcome.wait()
+    elapsed = time.perf_counter() - t0
+    stats = service.stats()
+
+    by_kind: dict[str, list] = {}
+    for h in outcome.handles:
+        by_kind.setdefault(h.request.kind, []).append(h)
+    table = Table(["kind", "jobs", "done", "failed", "p50 ms", "p99 ms"],
+                  title="serving replay summary")
+    for kind in sorted(by_kind):
+        handles = by_kind[kind]
+        done = [h for h in handles if h.state == "done"]
+        p50, p99 = latency_percentiles([h.latency for h in done])
+        table.add_row([kind, len(handles), len(done),
+                       len(handles) - len(done),
+                       f"{p50 * 1e3:.2f}", f"{p99 * 1e3:.2f}"])
+    print(table.render())
+    served = len(outcome.handles)
+    qps = served / elapsed if elapsed > 0 else 0.0
+    print(f"load:    {served} jobs + {outcome.churn_applied} churn in "
+          f"{format_seconds(elapsed)} ({qps:.0f} jobs/s); "
+          f"{outcome.rejected} rejected by backpressure")
+    print(f"memo:    {stats.memo.hits} hits / {stats.memo.misses} misses / "
+          f"{stats.memo.collapsed} collapsed "
+          f"(hit ratio {stats.memo_hit_ratio:.2f})")
+    for name, info in stats.plan_caches.items():
+        print(f"plans:   {name}: {info.size} plans, {info.hits} hits, "
+              f"{info.misses} misses")
+    for w in watches:
+        print(f"watch:   {w.name}: maintained count {w.count}")
+    service.close()
+
+    if not args.no_verify:
+        failures = 0
+        checked = 0
+        for h in outcome.handles:
+            if h.request.kind != "count" or h.state != "done":
+                continue
+            checked += 1
+            expected = int(_get_session(h.graph).count(h.request.query))
+            if h.result() != expected:
+                failures += 1
+                print(f"error: job {h.id} returned {h.result()}, direct "
+                      f"session count gives {expected} (version {h.version})",
+                      file=sys.stderr)
+        if failures:
+            return 1
+        print(f"verify:  all {checked} served counts equal direct "
+              "MatchSession calls on the same graph version")
+    return 0
+
+
 def cmd_backends(_args) -> int:
     table = Table(["name", "modes", "iep", "enumerates", "kernels", "description"],
                   title="registered execution backends")
@@ -492,6 +617,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the final full-recount verification")
     _add_graph_args(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a mixed count/enumerate/churn trace through the "
+             "serving runtime",
+    )
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="trace file: `count P [prio=N] [timeout=S]`, "
+                              "`enumerate P LIMIT`, `churn +|- U V` lines")
+    p_serve.add_argument("--synthetic", type=int, default=None, metavar="N",
+                         help="generate a Zipf-weighted N-operation workload "
+                              "over --pattern instead of reading --trace")
+    p_serve.add_argument("--pattern", default="triangle,house,rectangle",
+                         help="pattern pool for --synthetic "
+                              "(comma-separated names)")
+    p_serve.add_argument("--churn-every", type=int, default=0, metavar="N",
+                         help="synthetic workloads: one edge toggle every N "
+                              "operations (default 0 = no churn)")
+    p_serve.add_argument("--watch", default="",
+                         help="comma-separated patterns to stream-maintain "
+                              "across churn (default none)")
+    p_serve.add_argument("--workers", type=int, default=4, metavar="N",
+                         help="service worker threads (default 4)")
+    p_serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                         help="queue high-water mark before jobs are "
+                              "rejected (default 64)")
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the count-vs-direct-session verification")
+    _add_graph_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     sub.add_parser("backends", help="list execution backends").set_defaults(
         func=cmd_backends

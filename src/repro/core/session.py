@@ -44,6 +44,7 @@ explicitly.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator, NamedTuple
@@ -309,25 +310,38 @@ class MatchSession:
         self._cache: OrderedDict[tuple, PlanEntry] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # One reentrant lock guards the plan cache, the hit/miss
+        # counters and the lazy stats/signature memos.  Concurrent
+        # service workers share sessions; without it, two threads
+        # missing on the same fingerprint both run the full planning
+        # pipeline (double-plan) and racing evictions can corrupt the
+        # OrderedDict.  Planning happens *under* the lock on purpose:
+        # serialising a cold plan is exactly what makes the second
+        # thread a cache hit instead of a duplicate plan.
+        self._lock = threading.RLock()
 
     # -- graph views ----------------------------------------------------
     @property
     def stats(self) -> GraphStats:
         """Structural statistics of the bound graph (computed once)."""
         if self._stats is None:
-            g = self.graph
-            if isinstance(g, LabeledGraph):
-                g = g.graph
-            elif isinstance(g, DiGraph):
-                g = g.to_undirected()
-            self._stats = GraphStats.of(g)
+            with self._lock:
+                if self._stats is None:
+                    g = self.graph
+                    if isinstance(g, LabeledGraph):
+                        g = g.graph
+                    elif isinstance(g, DiGraph):
+                        g = g.to_undirected()
+                    self._stats = GraphStats.of(g)
         return self._stats
 
     @property
     def signature(self) -> tuple:
         """The graph half of the plan-cache key (see :func:`stats_signature`)."""
         if self._signature is None:
-            self._signature = stats_signature(self.graph, self.stats)
+            with self._lock:
+                if self._signature is None:
+                    self._signature = stats_signature(self.graph, self.stats)
         return self._signature
 
     def _execution_graph(self, query: MatchQuery) -> Any:
@@ -364,19 +378,20 @@ class MatchSession:
     def _lookup_or_plan(self, query: MatchQuery) -> tuple[PlanEntry, bool]:
         """(entry, was cache hit) — the one key computation per call."""
         key = (query.fingerprint, self.signature)
-        entry = self._cache.get(key)
-        if entry is not None:
-            self._hits += 1
-            self._cache.move_to_end(key)
-            return entry, True
-        with Timer() as t:
-            entry = self._plan(query, key)
-        entry = dataclasses.replace(entry, seconds_plan=t.elapsed)
-        self._misses += 1
-        self._cache[key] = entry
-        while len(self._cache) > self.max_plans:
-            self._cache.popitem(last=False)
-        return entry, False
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return entry, True
+            with Timer() as t:
+                entry = self._plan(query, key)
+            entry = dataclasses.replace(entry, seconds_plan=t.elapsed)
+            self._misses += 1
+            self._cache[key] = entry
+            while len(self._cache) > self.max_plans:
+                self._cache.popitem(last=False)
+            return entry, False
 
     def _plan(self, query: MatchQuery, key: tuple) -> PlanEntry:
         if query.mode == "plain":
@@ -537,8 +552,9 @@ class MatchSession:
         ):
             generated = compile_for_context(ctx)
             updated = dataclasses.replace(entry, generated=generated)
-            if entry.key in self._cache:
-                self._cache[entry.key] = updated
+            with self._lock:
+                if entry.key in self._cache:
+                    self._cache[entry.key] = updated
             return dataclasses.replace(ctx, generated=generated)
         return ctx
 
@@ -618,12 +634,20 @@ class MatchSession:
 
     # -- cache management ----------------------------------------------
     def cache_info(self) -> CacheInfo:
-        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+        """A consistent snapshot of the counters (taken under the lock,
+        so a reader never sees a hit counted against a size it did not
+        yet reach — the service stats endpoint reads this concurrently
+        with executing workers)."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits, misses=self._misses, size=len(self._cache)
+            )
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         info = self.cache_info()
@@ -643,6 +667,12 @@ class MatchSession:
 #: otherwise grow without bound).
 _SESSIONS: OrderedDict[int, MatchSession] = OrderedDict()
 _MAX_SESSIONS = 8
+#: guards _SESSIONS and _MAX_SESSIONS — the registry is shared by every
+#: serving worker thread, and unlocked LRU maintenance on an OrderedDict
+#: is not atomic (concurrent move_to_end/popitem can raise KeyError or
+#: hand two threads two different sessions for one graph, splitting the
+#: plan cache).
+_SESSIONS_LOCK = threading.Lock()
 
 
 def get_session(graph: Any) -> MatchSession:
@@ -655,6 +685,10 @@ def get_session(graph: Any) -> MatchSession:
     :func:`session_cache_size` sessions are retained (LRU); evicted or
     unregistered graphs simply get a fresh session next time.
 
+    Thread-safe: concurrent callers for the same graph get the *same*
+    session object (whose plan cache is itself locked), so a serving
+    worker pool shares plans instead of racing to build them.
+
     Note the retention trade-off: a registered session keeps its graph
     alive until displaced, so a one-shot count on a huge transient graph
     pins it temporarily.  For tight memory budgets, shrink the registry
@@ -662,16 +696,17 @@ def get_session(graph: Any) -> MatchSession:
     construct a private :class:`MatchSession` whose lifetime you control.
     """
     key = id(graph)
-    session = _SESSIONS.get(key)
-    if session is not None and session.graph is graph:
+    with _SESSIONS_LOCK:
+        session = _SESSIONS.get(key)
+        if session is not None and session.graph is graph:
+            _SESSIONS.move_to_end(key)
+            return session
+        session = MatchSession(graph)
+        _SESSIONS[key] = session
         _SESSIONS.move_to_end(key)
+        while len(_SESSIONS) > _MAX_SESSIONS:
+            _SESSIONS.popitem(last=False)
         return session
-    session = MatchSession(graph)
-    _SESSIONS[key] = session
-    _SESSIONS.move_to_end(key)
-    while len(_SESSIONS) > _MAX_SESSIONS:
-        _SESSIONS.popitem(last=False)
-    return session
 
 
 def session_cache_size() -> int:
@@ -684,11 +719,13 @@ def set_session_cache_size(n: int) -> None:
     global _MAX_SESSIONS
     if n < 1:
         raise ValueError("the session registry needs capacity >= 1")
-    _MAX_SESSIONS = n
-    while len(_SESSIONS) > _MAX_SESSIONS:
-        _SESSIONS.popitem(last=False)
+    with _SESSIONS_LOCK:
+        _MAX_SESSIONS = n
+        while len(_SESSIONS) > _MAX_SESSIONS:
+            _SESSIONS.popitem(last=False)
 
 
 def clear_sessions() -> None:
     """Drop every registered session (test isolation / memory pressure)."""
-    _SESSIONS.clear()
+    with _SESSIONS_LOCK:
+        _SESSIONS.clear()

@@ -1,0 +1,64 @@
+"""Matching-as-a-service: the async serving runtime over MatchSession.
+
+``MatchService`` owns graph replicas, the shared plan caches and a
+versioned result memo, and admits concurrent count/enumerate jobs
+through a bounded priority queue with explicit backpressure
+(``ServiceOverloaded``), per-job timeouts, cancellation and
+status/result callbacks.  ``await handle`` is the asyncio front door.
+See ``docs/architecture.md`` ("Serving runtime") for the guide and
+``benchmarks/bench_serving.py`` for the measured p50/p99/QPS claims.
+"""
+
+from repro.serving.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    JobCancelled,
+    JobHandle,
+    JobTimeout,
+    MatchRequest,
+    ServiceOverloaded,
+)
+from repro.serving.memo import MemoStats, ResultMemo
+from repro.serving.replicas import Replica, ReplicaRegistry
+from repro.serving.service import MatchService, ServiceStats, default_executor
+from repro.serving.trace import (
+    ReplayOutcome,
+    TraceOp,
+    latency_percentiles,
+    parse_trace_line,
+    read_trace_file,
+    replay_trace,
+    synthetic_trace,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "JobCancelled",
+    "JobHandle",
+    "JobTimeout",
+    "MatchRequest",
+    "ServiceOverloaded",
+    "MemoStats",
+    "ResultMemo",
+    "Replica",
+    "ReplicaRegistry",
+    "MatchService",
+    "ServiceStats",
+    "default_executor",
+    "ReplayOutcome",
+    "TraceOp",
+    "latency_percentiles",
+    "parse_trace_line",
+    "read_trace_file",
+    "replay_trace",
+    "synthetic_trace",
+]

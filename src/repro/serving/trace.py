@@ -1,0 +1,256 @@
+"""Serving traces: a replayable mixed count/enumerate/churn workload.
+
+The text format (one operation per line, ``#`` comments and blank lines
+skipped) is what ``python -m repro serve --trace FILE`` replays::
+
+    count house                 # count a named pattern
+    count triangle prio=5       # higher priority runs earlier
+    count house timeout=2.5     # per-job deadline in seconds
+    enumerate triangle 10       # first 10 embeddings
+    churn + 3 17                # admin path: insert edge (3,17)
+    churn - 3 17                # admin path: delete edge (3,17)
+
+Counts and enumerations become service jobs; ``churn`` lines route
+through the replica's stream session (and invalidate the memo) before
+any later line is submitted — the trace is replayed in order, so a
+trace models a client population whose query mix interleaves with graph
+mutations.
+
+:func:`synthetic_trace` generates the repeated-query mix the benchmark
+and the CLI's ``--synthetic`` mode use: a Zipf-ish draw over a small
+pattern pool (real query traffic is heavy-tailed — a few hot queries
+dominate), with optional periodic churn.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+#: operations a trace line can carry.
+TRACE_OPS = ("count", "enumerate", "churn")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One parsed trace line."""
+
+    op: str
+    pattern: str | None = None
+    limit: int | None = None
+    priority: int = 0
+    timeout: float | None = None
+    #: churn payload: ("+"|"-", u, v)
+    update: tuple[str, int, int] | None = None
+
+    def __post_init__(self):
+        if self.op not in TRACE_OPS:
+            raise ValueError(f"unknown trace op {self.op!r}: expected {TRACE_OPS}")
+
+    def describe(self) -> str:
+        if self.op == "churn":
+            sign, u, v = self.update
+            return f"churn {sign} {u} {v}"
+        extra = f" limit={self.limit}" if self.limit is not None else ""
+        prio = f" prio={self.priority}" if self.priority else ""
+        return f"{self.op} {self.pattern}{extra}{prio}"
+
+
+def _parse_options(parts: list[str], where: str) -> tuple[int, float | None]:
+    """Trailing ``prio=N`` / ``timeout=S`` options, any order."""
+    priority, timeout = 0, None
+    for part in parts:
+        key, sep, value = part.partition("=")
+        if not sep or key not in ("prio", "timeout"):
+            raise ValueError(
+                f"{where}: unexpected token {part!r} "
+                "(options are prio=N and timeout=S)"
+            )
+        try:
+            if key == "prio":
+                priority = int(value)
+            else:
+                timeout = float(value)
+                if timeout <= 0:
+                    raise ValueError
+        except ValueError:
+            raise ValueError(f"{where}: bad value in {part!r}") from None
+    return priority, timeout
+
+
+def parse_trace_line(line: str, *, where: str = "trace") -> TraceOp | None:
+    """One line -> :class:`TraceOp` (None for blanks/comments)."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None
+    parts = line.split()
+    op = parts[0].lower()
+    if op == "churn":
+        if len(parts) != 4 or parts[1] not in ("+", "-"):
+            raise ValueError(f"{where}: expected 'churn +|- U V', got {line!r}")
+        try:
+            u, v = int(parts[2]), int(parts[3])
+        except ValueError:
+            raise ValueError(f"{where}: bad vertex ids in {line!r}") from None
+        return TraceOp("churn", update=(parts[1], u, v))
+    if op == "count":
+        if len(parts) < 2:
+            raise ValueError(f"{where}: expected 'count PATTERN ...', got {line!r}")
+        priority, timeout = _parse_options(parts[2:], where)
+        return TraceOp("count", pattern=parts[1], priority=priority,
+                       timeout=timeout)
+    if op == "enumerate":
+        if len(parts) < 3:
+            raise ValueError(
+                f"{where}: expected 'enumerate PATTERN LIMIT ...', got {line!r}"
+            )
+        try:
+            limit = int(parts[2])
+        except ValueError:
+            raise ValueError(f"{where}: bad limit in {line!r}") from None
+        priority, timeout = _parse_options(parts[3:], where)
+        return TraceOp("enumerate", pattern=parts[1], limit=limit,
+                       priority=priority, timeout=timeout)
+    raise ValueError(f"{where}: unknown op {op!r}: expected one of {TRACE_OPS}")
+
+
+def read_trace_file(path: str | Path) -> list[TraceOp]:
+    """Parse a whole trace file (errors carry file:line locations)."""
+    ops: list[TraceOp] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        parsed = parse_trace_line(raw, where=f"{path}:{lineno}")
+        if parsed is not None:
+            ops.append(parsed)
+    return ops
+
+
+def synthetic_trace(
+    patterns: list[str],
+    n_ops: int,
+    *,
+    enumerate_ratio: float = 0.1,
+    enumerate_limit: int = 20,
+    churn_every: int = 0,
+    n_vertices: int = 0,
+    avoid_edges: "set[tuple[int, int]] | None" = None,
+    seed: int = 2020,
+) -> list[TraceOp]:
+    """A heavy-tailed repeated-query workload over a pattern pool.
+
+    Patterns are drawn with Zipf weights (1, 1/2, 1/3, ... in list
+    order), so the first pattern dominates — the regime where the
+    result memo earns its keep.  ``churn_every > 0`` inserts an edge
+    toggle every that-many operations (needs ``n_vertices`` to draw
+    endpoints from); each toggle is an insert the first time and a
+    delete the next, so the trace never references a missing edge.
+    ``avoid_edges`` (pairs with u < v) names the base graph's existing
+    edges so an insert never duplicates one.
+    """
+    if not patterns:
+        raise ValueError("synthetic_trace needs at least one pattern")
+    if churn_every and n_vertices < 2:
+        raise ValueError("churn needs n_vertices >= 2 to draw endpoints")
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(len(patterns))]
+    avoid = avoid_edges or set()
+    ops: list[TraceOp] = []
+    toggled: set[tuple[int, int]] = set()
+    for i in range(n_ops):
+        if churn_every and i and i % churn_every == 0:
+            while True:
+                u = rng.randrange(n_vertices)
+                v = rng.randrange(n_vertices)
+                if u == v:
+                    continue
+                key = (min(u, v), max(u, v))
+                if key not in avoid:
+                    break
+            sign = "-" if key in toggled else "+"
+            toggled.symmetric_difference_update({key})
+            ops.append(TraceOp("churn", update=(sign, key[0], key[1])))
+            continue
+        name = rng.choices(patterns, weights=weights)[0]
+        if rng.random() < enumerate_ratio:
+            ops.append(TraceOp("enumerate", pattern=name, limit=enumerate_limit))
+        else:
+            ops.append(TraceOp("count", pattern=name))
+    return ops
+
+
+def latency_percentiles(
+    seconds: list[float], fractions: tuple[float, ...] = (0.5, 0.99)
+) -> tuple[float, ...]:
+    """Nearest-rank percentiles of a latency sample (0.0 when empty).
+
+    Nearest-rank (not interpolated) so the p99 of a small sample is an
+    actually-observed latency, never an optimistic blend.
+    """
+    if not seconds:
+        return tuple(0.0 for _ in fractions)
+    ordered = sorted(seconds)
+    out = []
+    for f in fractions:
+        rank = min(len(ordered) - 1, max(0, int(round(f * len(ordered))) - 1))
+        out.append(ordered[rank])
+    return tuple(out)
+
+
+@dataclass
+class ReplayOutcome:
+    """What one trace replay produced (handles still resolving)."""
+
+    handles: list = field(default_factory=list)
+    rejected: int = 0
+    churn_applied: int = 0
+    seconds_submit: float = 0.0
+
+    def wait(self, timeout: float | None = None) -> None:
+        for h in self.handles:
+            h.wait(timeout)
+
+
+def replay_trace(
+    service: Any,
+    ops: list[TraceOp],
+    *,
+    graph: str = "default",
+    resolve_pattern: Callable[[str], Any] | None = None,
+) -> ReplayOutcome:
+    """Submit a trace, open-loop, in order; churn lines apply inline.
+
+    Rejected submissions (:class:`~repro.serving.jobs.ServiceOverloaded`)
+    are counted, not retried — the load-shedding client model the
+    backpressure profile measures.  Returns as soon as the last line is
+    submitted; call :meth:`ReplayOutcome.wait` to resolve every handle.
+    """
+    from repro.serving.jobs import MatchRequest, ServiceOverloaded
+
+    if resolve_pattern is None:
+        from repro.pattern.catalog import get_pattern as resolve_pattern
+    outcome = ReplayOutcome()
+    t0 = time.perf_counter()
+    for op in ops:
+        if op.op == "churn":
+            sign, u, v = op.update
+            service.apply_churn([(sign, u, v)], graph=graph)
+            outcome.churn_applied += 1
+            continue
+        request = MatchRequest(
+            op.op,
+            resolve_pattern(op.pattern),
+            graph=graph,
+            limit=op.limit,
+        )
+        try:
+            handle = service.submit(
+                request, priority=op.priority, timeout=op.timeout
+            )
+        except ServiceOverloaded:
+            outcome.rejected += 1
+            continue
+        outcome.handles.append(handle)
+    outcome.seconds_submit = time.perf_counter() - t0
+    return outcome

@@ -1,0 +1,144 @@
+"""Thread-safety regressions for the session registry and plan cache.
+
+The serving worker pool hits ``get_session`` and one shared
+``MatchSession`` from many threads at once; before the registry and the
+session grew locks, concurrent callers could receive *different*
+sessions for one graph (splitting the plan cache) or double-plan the
+same query.  These tests hammer both paths with a barrier so every
+thread arrives at the critical section together.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.session import (
+    MatchSession,
+    clear_sessions,
+    get_session,
+    session_cache_size,
+    set_session_cache_size,
+)
+from repro.graph.builder import graph_from_edges
+from repro.pattern.catalog import get_pattern
+
+N_THREADS = 8
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_sessions()
+    yield
+    clear_sessions()
+    set_session_cache_size(8)
+
+
+def hammer(n_threads, fn):
+    """Run ``fn(i)`` on n threads released simultaneously by a barrier."""
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+    errors = []
+
+    def run(i):
+        try:
+            barrier.wait(timeout=10)
+            results[i] = fn(i)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, errors
+    return results
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_get_session_yields_one_session(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        sessions = hammer(N_THREADS, lambda i: get_session(graph))
+        assert len({id(s) for s in sessions}) == 1
+
+    def test_concurrent_distinct_graphs_respect_lru_cap(self):
+        set_session_cache_size(4)
+        graphs = [
+            graph_from_edges([(0, 1), (1, 2 + i)]) for i in range(N_THREADS)
+        ]
+        hammer(N_THREADS, lambda i: get_session(graphs[i]))
+        # the registry never exceeds its cap, even under a thundering herd
+        assert session_cache_size() == 4
+        from repro.core.session import _SESSIONS
+
+        assert len(_SESSIONS) <= 4
+
+    def test_concurrent_resize_and_lookup(self):
+        graphs = [graph_from_edges([(0, 1), (1, 2 + i)]) for i in range(16)]
+
+        def work(i):
+            if i % 4 == 0:
+                set_session_cache_size(2 + i % 3)
+            for g in graphs:
+                get_session(g)
+
+        hammer(N_THREADS, work)  # must not raise (KeyError under races)
+
+
+class TestPlanCacheThreadSafety:
+    def test_shared_session_plans_once(self):
+        """N threads, one query: exactly one plan-cache miss."""
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        session = MatchSession(graph)
+        triangle = get_pattern("triangle")
+
+        counts = hammer(N_THREADS, lambda i: int(session.count(triangle)))
+        assert counts == [1] * N_THREADS
+        info = session.cache_info()
+        assert info.misses == 1
+        assert info.hits == N_THREADS - 1
+        assert info.size == 1
+
+    def test_concurrent_distinct_queries(self):
+        graph = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        session = MatchSession(graph)
+        patterns = ["triangle", "rectangle", "house", "pentagon"]
+
+        def work(i):
+            return int(session.count(get_pattern(patterns[i % len(patterns)])))
+
+        results = hammer(N_THREADS, work)
+        assert all(isinstance(r, int) for r in results)
+        info = session.cache_info()
+        # one miss per distinct pattern, no duplicated planning
+        assert info.misses == len(patterns)
+        assert info.hits == N_THREADS - len(patterns)
+
+    def test_cache_info_snapshot_is_consistent(self):
+        """Counters and size are read under one lock acquisition."""
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        session = MatchSession(graph)
+        triangle = get_pattern("triangle")
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                info = session.cache_info()
+                # hits+misses can never trail the cache's size
+                if info.hits + info.misses < info.size:
+                    bad.append(info)  # pragma: no cover - failure path
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            hammer(4, lambda i: int(session.count(triangle)))
+        finally:
+            stop.set()
+            t.join(timeout=10)
+        assert not bad
+        assert session.cache_info().misses == 1

@@ -1,0 +1,93 @@
+"""Replica registry: freezing, churn routing, stream-watch warmth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.dynamic import DynamicGraph
+from repro.pattern.catalog import get_pattern
+from repro.serving import MatchService, Replica, ReplicaRegistry
+
+
+@pytest.fixture
+def square_graph():
+    return graph_from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+class TestRegistry:
+    def test_add_get_remove(self, square_graph):
+        reg = ReplicaRegistry()
+        replica = reg.add("sq", square_graph)
+        assert reg.get("sq") is replica
+        assert "sq" in reg and len(reg) == 1
+        assert reg.names() == ("sq",)
+        reg.remove("sq")
+        assert "sq" not in reg
+
+    def test_duplicate_name_rejected(self, square_graph):
+        reg = ReplicaRegistry()
+        reg.add("sq", square_graph)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add("sq", square_graph)
+
+    def test_unknown_name_lists_known(self, square_graph):
+        reg = ReplicaRegistry()
+        reg.add("sq", square_graph)
+        with pytest.raises(KeyError, match="registered: sq"):
+            reg.get("nope")
+
+    def test_bad_graph_type(self):
+        with pytest.raises(TypeError, match="replica holds"):
+            Replica("bad", object())
+
+
+class TestStaticReplica:
+    def test_freeze_is_identity_at_version_zero(self, square_graph):
+        replica = Replica("sq", square_graph)
+        graph, version = replica.freeze()
+        assert graph is square_graph and version == 0
+        assert replica.version == 0
+        assert not replica.dynamic
+
+    def test_static_replica_refuses_churn_and_watches(self, square_graph):
+        replica = Replica("sq", square_graph)
+        with pytest.raises(TypeError, match="immutable"):
+            replica.apply_churn([("+", 0, 2)])
+        with pytest.raises(TypeError, match="immutable"):
+            replica.watch(get_pattern("triangle"))
+        assert replica.watch_counts() == {}
+
+
+class TestDynamicReplica:
+    def test_freeze_tracks_versions(self, square_graph):
+        replica = Replica("sq", DynamicGraph.from_graph(square_graph))
+        g0, v0 = replica.freeze()
+        replica.apply_churn([("+", 0, 2)])
+        g1, v1 = replica.freeze()
+        assert v1 > v0
+        assert g1 is not g0
+        assert g1.n_edges == g0.n_edges + 1
+        # quiescent replica hands out the memoised snapshot object
+        g2, v2 = replica.freeze()
+        assert g2 is g1 and v2 == v1
+
+    def test_watches_stay_warm_across_churn(self, square_graph):
+        replica = Replica("sq", DynamicGraph.from_graph(square_graph))
+        handle = replica.watch(get_pattern("triangle"))
+        assert handle.count == 0
+        replica.apply_churn([("+", 0, 2)])  # one diagonal: two triangles
+        assert replica.watch_counts() == {"triangle": 2}
+        replica.apply_churn([("-", 0, 2)])
+        assert handle.count == 0
+
+    def test_service_watch_counts_match_recount(self, square_graph):
+        with MatchService(n_workers=1) as svc:
+            replica = svc.add_graph("default", DynamicGraph.from_graph(square_graph))
+            handle = svc.watch(get_pattern("triangle"))
+            svc.apply_churn([("+", 0, 2), ("+", 1, 3)])
+            frozen, _ = replica.freeze()
+            direct = svc.count(get_pattern("triangle")).result(timeout=30)
+            assert handle.count == direct == 4
+            # the stream session's own oracle agrees
+            assert replica._stream.expected_counts()["triangle"] == 4

@@ -1,0 +1,316 @@
+"""Queue semantics, lifecycle, callbacks and the asyncio front door.
+
+Everything here runs against the event-gated :class:`FakeBackend`
+(tests/serving/conftest.py) so states are held deterministically — no
+sleeps, no timing races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serving import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobCancelled,
+    JobTimeout,
+    MatchService,
+    ServiceOverloaded,
+)
+
+from .conftest import job
+
+
+@pytest.fixture
+def service(fake_backend, triangle_graph):
+    """One worker, no memo: every submission is an independent queue job."""
+    svc = MatchService(
+        n_workers=1, queue_limit=8, memoise=False, executor=fake_backend
+    )
+    svc.add_graph("default", triangle_graph)
+    yield svc
+    fake_backend.gate.set()
+    svc.close()
+
+
+class TestQueueOrdering:
+    def test_priority_order_with_fifo_within_priority(self, service, fake_backend):
+        blocker = service.submit(job(0))
+        fake_backend.wait_started(1)
+        # queued while the single worker is pinned: two at priority 5
+        # (FIFO between them), one at 1, one at the default 0.
+        service.submit(job(1))  # priority 0
+        service.submit(job(2), priority=5)
+        service.submit(job(3), priority=5)
+        service.submit(job(4), priority=1)
+        fake_backend.gate.set()
+        assert service.drain(timeout=10)
+        assert fake_backend.started == [0, 2, 3, 4, 1]
+        assert blocker.result() == 7
+
+    def test_fifo_among_equal_priorities(self, service, fake_backend):
+        service.submit(job(0))
+        fake_backend.wait_started(1)
+        for i in range(1, 6):
+            service.submit(job(i), priority=3)
+        fake_backend.gate.set()
+        assert service.drain(timeout=10)
+        assert fake_backend.started == [0, 1, 2, 3, 4, 5]
+
+
+class TestBackpressure:
+    def test_overload_is_deterministic_at_high_water_mark(
+        self, fake_backend, triangle_graph
+    ):
+        svc = MatchService(
+            n_workers=1, queue_limit=3, memoise=False, executor=fake_backend
+        )
+        svc.add_graph("default", triangle_graph)
+        try:
+            svc.submit(job(0))  # taken by the worker
+            fake_backend.wait_started(1)
+            for i in range(1, 4):
+                svc.submit(job(i))  # exactly queue_limit queued
+            with pytest.raises(ServiceOverloaded):
+                svc.submit(job(99))
+            assert svc.stats().rejected == 1
+            assert svc.stats().queue_depth == 3
+        finally:
+            fake_backend.gate.set()
+            svc.close()
+        assert 99 not in fake_backend.started
+
+    def test_cancelling_a_queued_job_frees_its_slot(
+        self, fake_backend, triangle_graph
+    ):
+        svc = MatchService(
+            n_workers=1, queue_limit=2, memoise=False, executor=fake_backend
+        )
+        svc.add_graph("default", triangle_graph)
+        try:
+            svc.submit(job(0))
+            fake_backend.wait_started(1)
+            svc.submit(job(1))
+            victim = svc.submit(job(2))
+            with pytest.raises(ServiceOverloaded):
+                svc.submit(job(3))
+            assert victim.cancel()
+            svc.submit(job(4))  # the freed slot admits this one
+        finally:
+            fake_backend.gate.set()
+            svc.close()
+        assert fake_backend.started == [0, 1, 4]
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_executes(self, service, fake_backend):
+        service.submit(job(0))
+        fake_backend.wait_started(1)
+        victim = service.submit(job(1))
+        assert victim.state == QUEUED
+        assert victim.cancel()
+        assert victim.state == CANCELLED
+        with pytest.raises(JobCancelled):
+            victim.result()
+        fake_backend.gate.set()
+        assert service.drain(timeout=10)
+        assert fake_backend.started == [0]
+
+    def test_cancel_running_job_resolves_immediately(self, service, fake_backend):
+        fake_backend.cancel_waiters.add(0)
+        victim = service.submit(job(0))
+        fake_backend.wait_started(1)
+        assert victim.state == RUNNING
+        assert victim.cancel()
+        assert victim.state == CANCELLED
+        with pytest.raises(JobCancelled):
+            victim.result(timeout=10)
+        # the disowned worker unblocks (cancel_event fired) and the
+        # service keeps serving
+        after = service.submit(job(1))
+        fake_backend.gate.set()
+        assert after.result(timeout=10) == 7
+
+    def test_cancel_finished_job_is_a_noop(self, service, fake_backend):
+        fake_backend.gate.set()
+        handle = service.submit(job(0))
+        assert handle.result(timeout=10) == 7
+        assert not handle.cancel()
+        assert handle.state == DONE
+
+
+class TestTimeouts:
+    def test_timeout_fires_mid_run(self, service, fake_backend):
+        fake_backend.cancel_waiters.add(0)  # job waits on its cancel event
+        handle = service.submit(job(0), timeout=0.05)
+        fake_backend.wait_started(1)
+        with pytest.raises(JobTimeout):
+            handle.result(timeout=10)
+        assert handle.state == FAILED
+        assert service.stats().timed_out == 1
+        # service is healthy afterwards
+        fake_backend.gate.set()
+        assert service.submit(job(1)).result(timeout=10) == 7
+
+    def test_timeout_fires_while_queued_and_frees_slot(
+        self, fake_backend, triangle_graph
+    ):
+        svc = MatchService(
+            n_workers=1, queue_limit=1, memoise=False, executor=fake_backend
+        )
+        svc.add_graph("default", triangle_graph)
+        try:
+            svc.submit(job(0))
+            fake_backend.wait_started(1)
+            doomed = svc.submit(job(1), timeout=0.05)
+            with pytest.raises(JobTimeout):
+                doomed.result(timeout=10)
+            svc.submit(job(2))  # slot freed by the expired job
+        finally:
+            fake_backend.gate.set()
+            svc.close()
+        assert 1 not in fake_backend.started
+
+    def test_finished_job_is_immune_to_its_stale_timer(self, service, fake_backend):
+        fake_backend.gate.set()
+        handle = service.submit(job(0), timeout=30.0)
+        assert handle.result(timeout=10) == 7
+        assert handle.state == DONE  # timer cancelled on completion
+
+
+class TestLifecycleAndCallbacks:
+    def test_status_callback_sees_every_transition(self, service, fake_backend):
+        states = []
+        results = []
+        handle = service.submit(
+            job(0),
+            on_status=lambda h: states.append(h.state),
+            on_result=results.append,
+        )
+        fake_backend.gate.set()
+        assert handle.result(timeout=10) == 7
+        assert states == [QUEUED, RUNNING, DONE]
+        assert results == [7]
+
+    def test_failure_propagates_to_result(self, service, fake_backend):
+        fake_backend.fail_on.add(0)
+        fake_backend.gate.set()
+        handle = service.submit(job(0))
+        with pytest.raises(RuntimeError, match="injected failure"):
+            handle.result(timeout=10)
+        assert handle.state == FAILED
+        assert isinstance(handle.exception(), RuntimeError)
+        assert service.stats().failed == 1
+
+    def test_latency_accounting(self, service, fake_backend):
+        fake_backend.gate.set()
+        handle = service.submit(job(0))
+        assert handle.result(timeout=10) == 7
+        assert handle.latency >= 0.0
+        assert handle.queue_seconds >= 0.0
+        assert handle.latency >= handle.queue_seconds
+
+    def test_closed_service_rejects_submissions(self, fake_backend, triangle_graph):
+        svc = MatchService(n_workers=1, executor=fake_backend)
+        svc.add_graph("default", triangle_graph)
+        fake_backend.gate.set()
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(job(0))
+
+    def test_context_manager_drains_on_exit(self, fake_backend, triangle_graph):
+        fake_backend.gate.set()
+        with MatchService(n_workers=2, memoise=False,
+                          executor=fake_backend) as svc:
+            svc.add_graph("default", triangle_graph)
+            handles = [svc.submit(job(i)) for i in range(5)]
+        assert all(h.state == DONE for h in handles)
+
+
+class TestAsyncFrontDoor:
+    def test_await_handle(self, service, fake_backend):
+        fake_backend.gate.set()
+
+        async def go():
+            return await service.submit(job(0))
+
+        assert asyncio.run(go()) == 7
+
+    def test_aresult_and_concurrent_awaits(self, service, fake_backend):
+        async def go():
+            h1 = service.submit(job(1))
+            h2 = service.submit(job(2))
+            # release the gate from a thread once both are in the system
+            threading.Timer(0.01, fake_backend.gate.set).start()
+            return await asyncio.gather(h1.aresult(), h2.aresult())
+
+        assert asyncio.run(go()) == [7, 7]
+
+    def test_await_propagates_failure(self, service, fake_backend):
+        fake_backend.fail_on.add(0)
+        fake_backend.gate.set()
+
+        async def go():
+            await service.submit(job(0))
+
+        with pytest.raises(RuntimeError, match="injected failure"):
+            asyncio.run(go())
+
+
+class TestValidation:
+    def test_bad_request_kind(self, triangle):
+        from repro.serving import MatchRequest
+
+        with pytest.raises(ValueError, match="unknown request kind"):
+            MatchRequest("explode", triangle)
+
+    def test_count_with_limit_rejected(self, triangle):
+        from repro.serving import MatchRequest
+
+        with pytest.raises(ValueError, match="limit only applies"):
+            MatchRequest("count", triangle, limit=5)
+
+    def test_unknown_replica(self, service, triangle):
+        from repro.serving import MatchRequest
+
+        with pytest.raises(KeyError, match="no replica named"):
+            service.submit(MatchRequest("count", triangle, graph="nope"))
+
+    def test_submit_needs_a_request(self, service):
+        with pytest.raises(TypeError, match="MatchRequest"):
+            service.submit("triangle")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MatchService(n_workers=0)
+        with pytest.raises(ValueError):
+            MatchService(queue_limit=0)
+
+
+class TestRealExecution:
+    """A handful of unmocked end-to-end counts (the integration seam)."""
+
+    def test_count_and_enumerate_real(self, triangle_graph, triangle):
+        with MatchService(n_workers=2) as svc:
+            svc.add_graph("default", triangle_graph)
+            assert svc.count(triangle).result(timeout=30) == 1
+            embeddings = svc.enumerate(triangle, limit=10).result(timeout=30)
+            assert len(embeddings) == 1
+            assert sorted(embeddings[0]) == [0, 1, 2]
+
+    def test_stats_expose_plan_cache_counters(self, triangle_graph, triangle):
+        with MatchService(n_workers=1) as svc:
+            svc.add_graph("default", triangle_graph)
+            svc.count(triangle).result(timeout=30)
+            svc.count(triangle, memoise=False).result(timeout=30)
+            stats = svc.stats()
+            info = stats.plan_caches["default"]
+            # two executions, one plan: the second hit the plan cache
+            assert info.misses >= 1
+            assert info.hits >= 1

@@ -1,0 +1,176 @@
+"""Trace parsing, the synthetic generator, and open-loop replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.dynamic import DynamicGraph
+from repro.pattern.catalog import get_pattern
+from repro.serving import (
+    MatchService,
+    TraceOp,
+    parse_trace_line,
+    read_trace_file,
+    replay_trace,
+    synthetic_trace,
+)
+from repro.serving.trace import latency_percentiles
+
+
+class TestParsing:
+    def test_count_line(self):
+        op = parse_trace_line("count house")
+        assert op == TraceOp("count", pattern="house")
+
+    def test_options(self):
+        op = parse_trace_line("count house prio=5 timeout=2.5")
+        assert op.priority == 5 and op.timeout == 2.5
+
+    def test_enumerate_line(self):
+        op = parse_trace_line("enumerate triangle 10 prio=1")
+        assert op.op == "enumerate" and op.limit == 10 and op.priority == 1
+
+    def test_churn_line(self):
+        op = parse_trace_line("churn + 3 17")
+        assert op.update == ("+", 3, 17)
+
+    def test_comments_and_blanks(self):
+        assert parse_trace_line("# a comment") is None
+        assert parse_trace_line("   ") is None
+        assert parse_trace_line("count house  # trailing").pattern == "house"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "count",  # missing pattern
+            "enumerate triangle",  # missing limit
+            "enumerate triangle many",  # bad limit
+            "churn * 1 2",  # bad sign
+            "churn + 1",  # missing vertex
+            "churn + a b",  # bad ids
+            "count house prio=high",  # bad option value
+            "count house nope=1",  # unknown option
+            "frobnicate house",  # unknown op
+            "count house timeout=0",  # non-positive timeout
+        ],
+    )
+    def test_bad_lines_raise_with_location(self, line):
+        with pytest.raises(ValueError, match="trace"):
+            parse_trace_line(line)
+
+    def test_read_trace_file(self, tmp_path):
+        f = tmp_path / "ops.trace"
+        f.write_text(
+            "# mixed workload\n"
+            "count triangle\n"
+            "enumerate house 5\n"
+            "churn + 0 9\n"
+            "\n"
+            "count triangle prio=2\n"
+        )
+        ops = read_trace_file(f)
+        assert [op.op for op in ops] == ["count", "enumerate", "churn", "count"]
+
+    def test_read_trace_file_error_names_line(self, tmp_path):
+        f = tmp_path / "bad.trace"
+        f.write_text("count triangle\nchurn + nope 2\n")
+        with pytest.raises(ValueError, match=r"bad\.trace:2"):
+            read_trace_file(f)
+
+
+class TestSyntheticTrace:
+    def test_deterministic_and_zipf_weighted(self):
+        a = synthetic_trace(["triangle", "house"], 50, seed=1)
+        b = synthetic_trace(["triangle", "house"], 50, seed=1)
+        assert a == b
+        counts = {}
+        for op in a:
+            counts[op.pattern] = counts.get(op.pattern, 0) + 1
+        assert counts["triangle"] > counts["house"]  # head of the Zipf
+
+    def test_churn_toggles_are_consistent(self):
+        ops = synthetic_trace(
+            ["triangle"], 100, churn_every=5, n_vertices=20,
+            avoid_edges={(0, 1)}, seed=3,
+        )
+        live = set()
+        for op in ops:
+            if op.op != "churn":
+                continue
+            sign, u, v = op.update
+            assert (u, v) != (0, 1)
+            if sign == "+":
+                assert (u, v) not in live
+                live.add((u, v))
+            else:
+                assert (u, v) in live
+                live.remove((u, v))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one pattern"):
+            synthetic_trace([], 10)
+        with pytest.raises(ValueError, match="n_vertices"):
+            synthetic_trace(["triangle"], 10, churn_every=2)
+
+
+class TestReplay:
+    def test_replay_counts_rejections(self, fake_backend, triangle_graph):
+        svc = MatchService(
+            n_workers=1, queue_limit=1, memoise=False, executor=fake_backend
+        )
+        svc.add_graph("default", triangle_graph)
+        try:
+            ops = [TraceOp("enumerate", pattern="triangle", limit=i)
+                   for i in range(6)]
+            outcome = replay_trace(svc, ops)
+            # worker holds one, queue holds one; the rest were shed
+            assert len(outcome.handles) + outcome.rejected == 6
+            assert outcome.rejected >= 3
+        finally:
+            fake_backend.gate.set()
+            svc.close()
+
+    def test_replay_end_to_end_with_churn(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        ops = [
+            TraceOp("count", pattern="triangle"),
+            TraceOp("churn", update=("+", 0, 3)),
+            TraceOp("count", pattern="triangle"),
+        ]
+        with MatchService(n_workers=1) as svc:
+            svc.add_graph("default", DynamicGraph.from_graph(graph))
+            outcome = replay_trace(svc, ops)
+            outcome.wait(timeout=30)
+            values = [h.result(timeout=1) for h in outcome.handles]
+        assert outcome.churn_applied == 1
+        # replay is in submission order: pre-churn then post-churn count
+        assert values == [1, 2]
+
+    def test_resolver_override(self, triangle_graph):
+        with MatchService(n_workers=1) as svc:
+            svc.add_graph("default", triangle_graph)
+            seen = []
+
+            def resolver(name):
+                seen.append(name)
+                return get_pattern(name)
+
+            outcome = replay_trace(
+                svc, [TraceOp("count", pattern="triangle")],
+                resolve_pattern=resolver,
+            )
+            outcome.wait(timeout=30)
+        assert seen == ["triangle"]
+
+
+class TestLatencyPercentiles:
+    def test_empty_sample(self):
+        assert latency_percentiles([]) == (0.0, 0.0)
+
+    def test_nearest_rank(self):
+        sample = [float(i) for i in range(1, 101)]
+        p50, p99 = latency_percentiles(sample)
+        assert p50 == 50.0 and p99 == 99.0
+        (p100,) = latency_percentiles(sample, fractions=(1.0,))
+        assert p100 == 100.0

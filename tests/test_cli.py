@@ -358,3 +358,76 @@ class TestStreamCommand:
                    "--scale", "0.05", "--batch", "0"])
         assert rc == 2
         assert "--batch" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_synthetic_verifies(self, capsys):
+        rc = main(["serve", "--synthetic", "20", "--pattern", "triangle,house",
+                   "--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3",
+                   "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving replay summary" in out
+        assert "memo:" in out and "hit ratio" in out
+        assert "verify:  all" in out
+
+    def test_serve_trace_file_with_churn_and_watch(self, tmp_path, capsys):
+        free = TestStreamCommand._free_edges(k=2)
+        lines = ["# mixed workload", "count triangle", "count triangle"]
+        lines += [f"churn + {u} {v}" for u, v in free]
+        lines += ["count triangle", "enumerate triangle 5 prio=2"]
+        trace = tmp_path / "ops.trace"
+        trace.write_text("\n".join(lines) + "\n")
+        rc = main(["serve", "--trace", str(trace), "--watch", "triangle",
+                   "--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "maintained count" in out
+        assert "2 churn" in out
+        assert "verify:  all" in out
+
+    def test_serve_memo_hits_on_repeat_queries(self, capsys):
+        # a quiescent trace repeating one query: everything after the
+        # first execution is a memo hit or a single-flight collapse
+        rc = main(["serve", "--synthetic", "12", "--pattern", "triangle",
+                   "--dataset", "wiki-vote", "--scale", "0.05", "--seed", "3",
+                   "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        memo_line = out.split("memo:")[1].splitlines()[0]
+        hits = int(memo_line.split(" hits")[0].strip())
+        collapsed = int(memo_line.split("collapsed")[0].split("/")[-1].strip())
+        misses = int(memo_line.split("misses")[0].split("/")[-1].strip())
+        counts = sum(1 for ln in out.splitlines() if "count" in ln)
+        assert counts  # the trace exercised count jobs at all
+        assert misses >= 1 and hits + collapsed >= 1
+
+    def test_serve_requires_exactly_one_source(self, tmp_path, capsys):
+        rc = main(["serve", "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+        assert "exactly one of" in capsys.readouterr().err
+        trace = tmp_path / "t.trace"
+        trace.write_text("count triangle\n")
+        rc = main(["serve", "--trace", str(trace), "--synthetic", "5",
+                   "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+
+    def test_serve_rejects_malformed_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bad.trace"
+        trace.write_text("count triangle\nfrobnicate x\n")
+        rc = main(["serve", "--trace", str(trace),
+                   "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+        assert "bad.trace:2" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_pattern(self, capsys):
+        rc = main(["serve", "--synthetic", "5", "--pattern", "warp-drive",
+                   "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_worker_count(self, capsys):
+        rc = main(["serve", "--synthetic", "5", "--workers", "0",
+                   "--dataset", "wiki-vote", "--scale", "0.05"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
