@@ -1,0 +1,212 @@
+"""Autotune acceptance bench: ``backend="auto"`` vs every static choice.
+
+The calibration harness exists to make ``backend="auto"`` at least as
+good as the best static backend the user could have picked by hand.
+This bench closes the loop on the sweep workloads themselves:
+
+1. run a calibration sweep (:func:`repro.core.autotune.run_calibration`)
+   over datasets x patterns, recording every choice's best-of-N seconds;
+2. install the resulting profile and time ``backend="auto"`` on each
+   workload (warm plan cache, best-of-N — the same protocol the static
+   choices were measured under);
+3. per workload, compare auto against the measured-best static choice,
+   *re-timed interleaved with the auto reps*: the sweep's own number
+   comes from an earlier phase, and on sub-millisecond workloads
+   machine drift between phases would otherwise swamp the few
+   microseconds of decision overhead this bench exists to bound.
+
+Floors (asserted here and therefore in the CI bench-smoke job):
+
+* ``geomean(best_static / auto) >= 0.9`` — auto selection costs at most
+  ~10% geomean over an oracle static pick;
+* auto lands on the measured-best choice (or within 1.3x of its time —
+  timing jitter between two near-tied backends is not a mispick) on
+  >= 90% of workloads.
+
+Every auto count is asserted equal to the sweep's cross-checked count.
+Outputs: aligned table, ``benchmarks/results/bench_autotune.tsv`` and
+``BENCH_autotune.json``.  Schema notes live in ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.autotune import (
+    CalibrationWorkload,
+    default_choice_grid,
+    run_calibration,
+    set_active_profile,
+)
+from repro.core.backend import get_backend
+from repro.core.query import MatchQuery
+from repro.core.session import MatchSession
+from repro.pattern.catalog import get_pattern
+from repro.utils.tables import Table, format_seconds
+
+from _common import QUICK, bench_graph, emit, emit_json, geomean, time_call
+
+#: (dataset, patterns) cells of the sweep; quick mode trims both axes.
+WORKLOADS = (
+    [("wiki-vote", ["triangle", "clique-4", "rectangle"])]
+    if QUICK
+    else [
+        ("wiki-vote", ["triangle", "rectangle", "clique-4", "pentagon", "house"]),
+        ("mico", ["triangle", "clique-4", "house"]),
+    ]
+)
+
+#: quick mode's graph is tiny (sub-millisecond workloads), so it takes
+#: more repetitions for min-of-N to converge under scheduler jitter.
+REPS = 5 if QUICK else 3
+
+#: acceptance floors (see module docstring); asserted in every mode —
+#: auto delegates to the measured winner, so these hold by construction
+#: up to decision overhead, which is exactly what they bound.
+AUTO_GEOMEAN_FLOOR = 0.9
+PICK_RATE_FLOOR = 0.9
+
+#: a pick within this factor of the measured best is "correct": between
+#: near-tied backends the sweep's own jitter decides the nominal winner.
+PICK_TOLERANCE = 1.3
+
+
+def _build_workloads() -> list[CalibrationWorkload]:
+    workloads = []
+    for dataset, patterns in WORKLOADS:
+        graph = bench_graph(dataset)
+        for pname in patterns:
+            workloads.append(
+                CalibrationWorkload(
+                    name=f"{dataset}/{pname}",
+                    graph=graph,
+                    query=MatchQuery(get_pattern(pname)),
+                )
+            )
+    return workloads
+
+
+def run_autotune_bench() -> dict:
+    workloads = _build_workloads()
+    profile, measurements = run_calibration(
+        workloads, default_choice_grid(), repeats=REPS
+    )
+    previous = set_active_profile(profile)
+    try:
+        records: dict[str, dict] = {}
+        for workload, m in zip(workloads, measurements):
+            best_choice, sweep_seconds = m.best
+            session = MatchSession(workload.graph)
+            query = workload.query.with_backend("auto")
+            static_backend = get_backend(
+                best_choice.backend, **best_choice.options_dict()
+            )
+            static_query = workload.query.with_backend(static_backend)
+            if best_choice.use_iep is not None:
+                static_query = dataclasses.replace(
+                    static_query, use_iep=best_choice.use_iep
+                )
+            session.count(query)  # warm the plan cache (as the sweep did)
+            session.count(static_query)
+            auto_seconds = best_seconds = float("inf")
+            result = None
+            for _ in range(REPS):
+                _, result = time_call(session.count, query)
+                auto_seconds = min(auto_seconds, result.seconds_execute)
+                _, static_result = time_call(session.count, static_query)
+                best_seconds = min(best_seconds, static_result.seconds_execute)
+                assert static_result.backend == best_choice.backend, (
+                    workload.name, static_result.backend, best_choice.backend
+                )
+            assert int(result) == m.count, (
+                workload.name, int(result), m.count
+            )
+            report = result.autotune_report
+            ratio = best_seconds / auto_seconds if auto_seconds else float("inf")
+            picked_best = (
+                report.chosen == best_choice.backend
+                and dict(report.options) == best_choice.options_dict()
+            ) or auto_seconds <= PICK_TOLERANCE * best_seconds
+            records[workload.name] = {
+                "count": m.count,
+                "best_choice": best_choice.describe(),
+                "best_seconds": best_seconds,
+                "sweep_seconds": sweep_seconds,
+                "auto_choice": result.backend,
+                "auto_source": report.source,
+                "auto_seconds": auto_seconds,
+                "ratio_best_over_auto": ratio,
+                "picked_best": picked_best,
+            }
+        return {
+            "quick": QUICK,
+            "reps": REPS,
+            "n_workloads": len(records),
+            "n_buckets": len(profile.entries),
+            "workloads": records,
+        }
+    finally:
+        set_active_profile(previous)
+
+
+def _render(results: dict, capsys=None) -> dict:
+    suffix = ", quick" if QUICK else ""
+    table = Table(
+        ["workload", "count", "best static", "best (s)", "auto picked",
+         "auto (s)", "best/auto"],
+        title=f"auto selection vs oracle static backend{suffix}",
+    )
+    for name, rec in results["workloads"].items():
+        table.add_row([
+            name,
+            rec["count"],
+            rec["best_choice"],
+            format_seconds(rec["best_seconds"]),
+            rec["auto_choice"],
+            format_seconds(rec["auto_seconds"]),
+            f"{rec['ratio_best_over_auto']:.2f}x",
+        ])
+    ratios = [r["ratio_best_over_auto"] for r in results["workloads"].values()]
+    picks = [r["picked_best"] for r in results["workloads"].values()]
+    results["geomean_best_over_auto"] = geomean(ratios)
+    results["pick_rate"] = sum(picks) / len(picks) if picks else 0.0
+    results["geomean_floor"] = AUTO_GEOMEAN_FLOOR
+    results["pick_rate_floor"] = PICK_RATE_FLOOR
+    table.add_row([
+        "geomean / pick rate", "", "", "", f"{results['pick_rate'] * 100:.0f}%",
+        "", f"{results['geomean_best_over_auto']:.2f}x",
+    ])
+    emit(table, capsys, "bench_autotune.tsv")
+    emit_json("BENCH_autotune.json", results)
+    return results
+
+
+def _assert_floors(results: dict) -> None:
+    geo = results["geomean_best_over_auto"]
+    assert geo >= AUTO_GEOMEAN_FLOOR, (
+        f"auto selection runs at {geo:.2f}x the oracle static backend "
+        f"(geomean), below the {AUTO_GEOMEAN_FLOOR}x floor"
+    )
+    rate = results["pick_rate"]
+    assert rate >= PICK_RATE_FLOOR, (
+        f"auto picked the measured-best backend on only {rate * 100:.0f}% "
+        f"of sweep workloads (floor {PICK_RATE_FLOOR * 100:.0f}%)"
+    )
+
+
+def test_autotune_selection(benchmark, capsys):
+    from _common import once
+
+    results = once(benchmark, run_autotune_bench)
+    _render(results, capsys)
+    _assert_floors(results)
+
+
+if __name__ == "__main__":
+    results = _render(run_autotune_bench())
+    _assert_floors(results)
+    print(
+        f"geomean best/auto: {results['geomean_best_over_auto']:.2f}x "
+        f"(floor {AUTO_GEOMEAN_FLOOR}x); pick rate "
+        f"{results['pick_rate'] * 100:.0f}% (floor {PICK_RATE_FLOOR * 100:.0f}%)"
+    )

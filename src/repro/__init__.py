@@ -21,6 +21,17 @@ from repro.core.backend import (
     get_backend,
     register_backend,
 )
+from repro.core.autotune import (
+    AutoBackend,
+    AutotuneReport,
+    CalibrationProfile,
+    CalibrationWorkload,
+    ProfileChoice,
+    ProfileWarning,
+    load_profile,
+    run_calibration,
+    set_active_profile,
+)
 from repro.core.directed import DirectedMatcher, count_directed, match_directed
 from repro.core.induced import induced_count
 from repro.graph.csr import Graph
@@ -65,6 +76,15 @@ __all__ = [
     "capabilities_of",
     "get_backend",
     "register_backend",
+    "AutoBackend",
+    "AutotuneReport",
+    "CalibrationProfile",
+    "CalibrationWorkload",
+    "ProfileChoice",
+    "ProfileWarning",
+    "load_profile",
+    "run_calibration",
+    "set_active_profile",
     "DirectedMatcher",
     "count_directed",
     "match_directed",

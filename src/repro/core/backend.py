@@ -272,6 +272,35 @@ def capabilities_of(
     return None
 
 
+def candidate_backends(
+    ctx: MatchContext, *, for_enumeration: bool = False
+) -> list[BackendInfo]:
+    """Registry entries whose *declared* capabilities cover a context.
+
+    Capability-aware pre-filtering for selectors (notably the ``auto``
+    backend's profile-choice walk): mode coverage, IEP-plan support when
+    the plan carries an IEP suffix, and enumeration support when the
+    caller needs embeddings.  Delegating pseudo-backends (``is_meta``)
+    are excluded — a selector must land on a backend that executes.
+    The definitive per-plan answer remains ``instance.supports(ctx)``;
+    this filter only rules out what the flags already rule out.
+    """
+    plan_iep = getattr(ctx.plan, "iep_k", 0) > 0
+    out: list[BackendInfo] = []
+    for info in available_backends().values():
+        if getattr(info.cls, "is_meta", False):
+            continue
+        caps = info.capabilities
+        if not caps.supports_mode(ctx.mode):
+            continue
+        if plan_iep and not caps.iep:
+            continue
+        if for_enumeration and not info.supports_enumeration:
+            continue
+        out.append(info)
+    return out
+
+
 def get_backend(name: str, **options) -> ExecutionBackend:
     """Instantiate a registered backend; ``options`` go to its ctor."""
     try:
@@ -483,3 +512,4 @@ def plain_context(graph, plan_or_config, generated: GeneratedCounter | None = No
 # backend set with it.
 from repro.core import vectorised as _vectorised  # noqa: E402, F401
 from repro.runtime import distributed as _distributed  # noqa: E402, F401
+from repro.core import autotune as _autotune  # noqa: E402, F401

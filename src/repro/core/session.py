@@ -373,7 +373,48 @@ class MatchSession:
         """The cached plan for a query, planning on first sight."""
         query = as_query(query)
         self._execution_graph(query)  # validate mode/graph pairing early
+        query = self._apply_autotune(query)
         return self._lookup_or_plan(query)[0]
+
+    def _apply_autotune(self, query: MatchQuery) -> MatchQuery:
+        """Fold the calibration profile's plan-level knob into an auto query.
+
+        The profile's winning :class:`~repro.core.autotune.ProfileChoice`
+        carries a measured ``use_iep`` preference; applying it *before*
+        planning means ``backend="auto"`` plans the same plan its winner
+        was calibrated on (IEP-free for a vectorised winner, IEP-suffix
+        for a compiled one) — and the adjusted ``use_iep`` participates
+        in the fingerprint, so both variants cache independently.  Only
+        an undecided knob on a plain edge-semantics query is touched;
+        explicit ``use_iep`` always wins.
+        """
+        if query.use_iep is not None:
+            return query
+        if query.mode != "plain" or query.semantics != "edge":
+            return query
+        from repro.core import autotune
+
+        if not autotune.is_auto_spec(query.backend):
+            return query
+        profile = autotune.profile_for_spec(query.backend)
+        if profile is None:
+            return query
+        # Memoised per (profile, graph) on the query object: the replace
+        # below re-runs query validation and invalidates the cached
+        # fingerprint, which would otherwise recur on every count() of a
+        # reused query — overhead the auto path exists to eliminate.
+        memo = query.__dict__.get("_autotune_fold")
+        key = (id(profile), id(self.graph))
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        folded = query
+        choice = autotune.plan_choice_for(
+            query, self._execution_graph(query), profile=profile
+        )
+        if choice is not None and choice.use_iep is not None:
+            folded = dataclasses.replace(query, use_iep=choice.use_iep)
+        object.__setattr__(query, "_autotune_fold", (key, folded))
+        return folded
 
     def _lookup_or_plan(self, query: MatchQuery) -> tuple[PlanEntry, bool]:
         """(entry, was cache hit) — the one key computation per call."""
@@ -570,23 +611,38 @@ class MatchSession:
         preference for this call only.
         """
         query = self._effective_query(as_query(query), backend)
+        query = self._apply_autotune(query)
         graph = self._execution_graph(query)
         entry, was_hit = self._lookup_or_plan(query)
         ctx = entry.context(graph)
         chosen = self._select(ctx, query, backend)
         ctx = self._ensure_kernel(entry, chosen, ctx)
         # Backends with a structured side-channel (the distributed
-        # backend's scaling profile) expose count_with_report; the tuple
-        # protocol keeps plain count() implementations untouched.
+        # backend's scaling profile, the auto backend's selection
+        # report) expose count_with_report; the tuple protocol keeps
+        # plain count() implementations untouched.
         runner = getattr(chosen, "count_with_report", None)
         with Timer() as t_exec:
             if runner is not None:
                 n, side_report = runner(ctx)
             else:
                 n, side_report = chosen.count(ctx), None
+        backend_name = chosen.name
+        autotune_report = None
+        if side_report is not None:
+            from repro.core.autotune import AutotuneReport
+
+            if isinstance(side_report, AutotuneReport):
+                autotune_report = dataclasses.replace(
+                    side_report, actual_seconds=t_exec.elapsed
+                )
+                backend_name = f"auto:{side_report.chosen}"
+                # the delegate's own side-channel (e.g. a distributed
+                # scaling profile) keeps its historical slot.
+                side_report = side_report.inner_report
         return MatchResult(
             count=n,
-            backend=chosen.name,
+            backend=backend_name,
             mode=query.mode,
             semantics=query.semantics,
             cache_hit=was_hit,
@@ -595,6 +651,7 @@ class MatchSession:
             provenance=entry.provenance,
             fingerprint=entry.key[0],
             distributed_report=side_report,
+            autotune_report=autotune_report,
         )
 
     def enumerate(

@@ -237,6 +237,45 @@ class TestBackendFlags:
         assert rc == 2
         assert "count --backend distributed" in capsys.readouterr().err
 
+    def test_backends_profile_renders_bucket_table(self, capsys, tmp_path):
+        from repro.core.autotune import (
+            CalibrationWorkload, run_calibration,
+        )
+        from repro.core.query import MatchQuery
+        from repro.graph.generators import erdos_renyi
+        from repro.pattern.catalog import get_pattern
+
+        graph = erdos_renyi(120, 0.06, seed=5)
+        profile, _ = run_calibration(
+            [CalibrationWorkload("t", graph, MatchQuery(get_pattern("triangle")))],
+            repeats=1,
+        )
+        path = profile.save(tmp_path / "cal.json")
+        assert main(["backends", "--profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated buckets" in out
+        assert "plain 3v3e" in out
+
+    def test_backends_profile_unusable_is_an_error(self, capsys, tmp_path):
+        import pytest
+
+        from repro.core.autotune import ProfileWarning
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.warns(ProfileWarning):
+            rc = main(["backends", "--profile", str(bad)])
+        assert rc == 1
+        assert "not usable" in capsys.readouterr().err
+
+    def test_count_auto_backend_prints_report(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--seed", "3", "--backend", "auto"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend: auto:" in out
+        assert "autotune: auto ->" in out
+
     def test_workers_require_parallel_backend(self, capsys):
         rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
                    "--scale", "0.05", "--backend", "compiled",

@@ -1,21 +1,29 @@
-"""Examples stay importable and structurally sound.
+"""The documentation surface stays true: examples and the cookbook.
 
 Full example runs take minutes (they are demonstrations, not tests); the
 suite guards the cheap invariants: every example parses, exposes a
 ``main`` callable, carries a run instruction, and imports only public
 ``repro`` API (no private ``_`` modules) — so refactors cannot silently
 break the documentation surface.
+
+``docs/cookbook.md`` makes a stronger promise — its recipes are
+*runnable* — so every ``python`` code block there is **executed** here,
+each in its own namespace named after the section it appears under.
+Recipes are written to be independent and fast (small seeded proxies,
+``repeats=1`` sweeps).
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+COOKBOOK = Path(__file__).parent.parent / "docs" / "cookbook.md"
 
 
 def _tree(path: Path) -> ast.Module:
@@ -66,3 +74,62 @@ def test_at_least_the_required_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert "quickstart" in names
     assert len(names) >= 3  # the deliverable floor; we ship far more
+
+
+# ---------------------------------------------------------------------------
+# the cookbook executes
+# ---------------------------------------------------------------------------
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE_OPEN_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_python_blocks(path: Path) -> list[tuple[str, int, str]]:
+    """(section, start line, source) for each ``python`` fence."""
+    blocks: list[tuple[str, int, str]] = []
+    section = "preamble"
+    language: str | None = None
+    start = 0
+    lines: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if language is None:
+            heading = _HEADING_RE.match(line)
+            if heading:
+                section = heading.group(1).strip()
+                continue
+            fence = _FENCE_OPEN_RE.match(line)
+            if fence:
+                language = fence.group(1)
+                start = lineno + 1
+                lines = []
+        elif line.strip() == "```":
+            if language == "python":
+                blocks.append((section, start, "\n".join(lines) + "\n"))
+            language = None
+        else:
+            lines.append(line)
+    assert language is None, f"{path}: unterminated code fence"
+    return blocks
+
+
+COOKBOOK_BLOCKS = extract_python_blocks(COOKBOOK)
+
+
+def _slug(section: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", section.lower()).strip("-")
+
+
+def test_cookbook_has_recipes():
+    # the cookbook must stay a real, executable docs page
+    assert len(COOKBOOK_BLOCKS) >= 5
+    assert len({section for section, _, _ in COOKBOOK_BLOCKS}) >= 5
+
+
+@pytest.mark.parametrize(
+    "section,start,source",
+    COOKBOOK_BLOCKS,
+    ids=[_slug(section) for section, _, _ in COOKBOOK_BLOCKS],
+)
+def test_cookbook_block_executes(section, start, source):
+    code = compile(source, f"{COOKBOOK}:{start} ({section})", "exec")
+    namespace: dict = {"__name__": "__cookbook__"}
+    exec(code, namespace)

@@ -1,0 +1,141 @@
+"""Calibration sweep CLI: measure backends x knobs, persist a profile.
+
+The driver for :mod:`repro.core.autotune`: build a grid of workloads
+(datasets x scales x patterns), measure every applicable
+:class:`~repro.core.autotune.ProfileChoice` on each (best-of-``repeats``
+execution seconds through a warm ``MatchSession`` plan cache), aggregate
+into per-(pattern signature, graph signature) buckets, and write the
+versioned JSON profile ``backend="auto"`` consumes.
+
+    PYTHONPATH=src python tools/calibrate.py --out calibration.json
+    PYTHONPATH=src python tools/calibrate.py --quick --out /tmp/cal.json
+    REPRO_AUTOTUNE_PROFILE=calibration.json python -m repro count \\
+        --backend auto --pattern house
+
+``--heavy`` adds the process-pool and simulated-distributed
+configurations to the sweep (minutes, worth it for large graphs);
+``--quick`` shrinks everything for smoke runs.  Inspect a written
+profile with ``python -m repro backends --profile PATH``; re-run this
+tool whenever the backend registry changes (the profile records the
+registry snapshot and invalidates itself otherwise).  The full tuning
+guide lives in ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.autotune import (  # noqa: E402
+    CalibrationWorkload,
+    default_choice_grid,
+    run_calibration,
+)
+from repro.core.query import MatchQuery  # noqa: E402
+from repro.graph.datasets import load_dataset  # noqa: E402
+from repro.pattern.catalog import get_pattern  # noqa: E402
+from repro.utils.tables import Table, format_seconds  # noqa: E402
+
+#: defaults chosen to span the signature space: two degree regimes
+#: (wiki-vote is skewed, mico is flatter) at two sizes each, and
+#: patterns spanning sparse cycles to dense cliques.
+DEFAULT_DATASETS = "wiki-vote,mico"
+DEFAULT_SCALES = "0.1,0.2"
+DEFAULT_PATTERNS = "triangle,rectangle,clique-4,pentagon,house"
+DEFAULT_SEED = 2020
+
+
+def build_workloads(args) -> list[CalibrationWorkload]:
+    datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    scales = [float(s) for s in args.scales.split(",") if s.strip()]
+    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+    workloads = []
+    for dataset in datasets:
+        for scale in scales:
+            graph = load_dataset(dataset, scale=scale, seed=args.seed)
+            for pname in patterns:
+                query = MatchQuery(get_pattern(pname))
+                workloads.append(
+                    CalibrationWorkload(
+                        name=f"{dataset}@{scale}/{pname}",
+                        graph=graph,
+                        query=query,
+                    )
+                )
+    return workloads
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sweep backends x knobs and write a calibration profile"
+    )
+    parser.add_argument("--datasets", default=DEFAULT_DATASETS,
+                        help=f"comma-separated proxies (default {DEFAULT_DATASETS})")
+    parser.add_argument("--scales", default=DEFAULT_SCALES,
+                        help=f"comma-separated proxy scales (default {DEFAULT_SCALES})")
+    parser.add_argument("--patterns", default=DEFAULT_PATTERNS,
+                        help=f"comma-separated patterns (default {DEFAULT_PATTERNS})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per (workload, choice); "
+                             "best-of is recorded (default 3)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--heavy", action="store_true",
+                        help="also sweep parallel and distributed configurations")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke sweep: one small graph, three patterns, "
+                             "one repeat")
+    parser.add_argument("--out", default="calibration.json", metavar="PATH",
+                        help="profile destination (default calibration.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.datasets = "wiki-vote"
+        args.scales = "0.08"
+        args.patterns = "triangle,rectangle,clique-4"
+        args.repeats = 1
+
+    workloads = build_workloads(args)
+    grid = default_choice_grid(heavy=args.heavy)
+    print(f"sweeping {len(workloads)} workloads x {len(grid)} choices "
+          f"(best of {args.repeats})...")
+    t0 = time.perf_counter()
+    profile, measurements = run_calibration(
+        workloads,
+        grid,
+        repeats=args.repeats,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        host=platform.node() or platform.machine(),
+    )
+    elapsed = time.perf_counter() - t0
+
+    table = Table(["workload", "count", "best choice", "seconds", "vs worst"],
+                  title="calibration sweep (best measured choice per workload)")
+    for m in measurements:
+        choice, seconds = m.best
+        worst = max(s for _, s in m.seconds)
+        table.add_row([
+            m.workload,
+            m.count,
+            choice.describe(),
+            format_seconds(seconds),
+            f"{worst / seconds:.1f}x" if seconds else "-",
+        ])
+    print(table.render())
+
+    path = profile.save(args.out)
+    print(f"\nprofile: {path} — {profile.describe()}")
+    print(f"sweep time: {format_seconds(elapsed)}")
+    print(f"activate with REPRO_AUTOTUNE_PROFILE={path} or "
+          f"repro.set_active_profile({str(path)!r}); inspect with "
+          f"`python -m repro backends --profile {path}`")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

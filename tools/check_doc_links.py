@@ -1,0 +1,117 @@
+"""Markdown link checker for the ``docs/`` suite (and the README).
+
+Validates every ``[text](target)`` link in the checked files:
+
+* **relative file links** (``architecture.md``, ``../README.md``) must
+  resolve to an existing file relative to the linking document;
+* **anchor links** (``backends.md#tuning-guide``, ``#recipes``) must
+  name a heading that actually exists in the target document, using
+  GitHub's slug rules (lowercase, punctuation stripped, spaces to
+  dashes);
+* **absolute URLs** (``https://...``) are *not* fetched — CI must not
+  depend on the network — but must at least parse as http(s);
+* bare code spans, images and reference-style definitions are handled
+  like ordinary links.
+
+Exit status is the number of broken links (0 = all good), so the CI
+docs job can run it directly.
+
+    PYTHONPATH=src python tools/check_doc_links.py
+    PYTHONPATH=src python tools/check_doc_links.py docs/*.md README.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline links/images: [text](target) — target may carry a title.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks are excluded (their brackets are code, not links).
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to dashes (backticks and links stripped first)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def iter_links(path: Path):
+    """(line number, target) pairs for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(REPO)}:{lineno}"
+        if target.startswith(("http://", "https://")):
+            continue  # external: syntax-checked by the regex, not fetched
+        if target.startswith("mailto:"):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            problems.append(f"{where}: broken file link -> {target}")
+            continue
+        if anchor:
+            if dest.suffix != ".md":
+                continue  # anchors into non-markdown files: not checkable
+            if github_slug(anchor) not in heading_slugs(dest):
+                problems.append(f"{where}: missing anchor -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if args:
+        files = [Path(a).resolve() for a in args]
+    else:
+        files = sorted((REPO / "docs").glob("*.md"))
+        readme = REPO / "README.md"
+        if readme.exists():
+            files.append(readme)
+    all_problems: list[str] = []
+    for path in files:
+        all_problems.extend(check_file(path))
+    for problem in all_problems:
+        print(problem, file=sys.stderr)
+    if not all_problems:
+        print(f"checked {len(files)} files: all links resolve")
+    return len(all_problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
