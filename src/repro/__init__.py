@@ -33,6 +33,11 @@ from repro.core.autotune import (
     set_active_profile,
 )
 from repro.core.directed import DirectedMatcher, count_directed, match_directed
+from repro.core.reduction import (
+    ReductionReport,
+    reduce_directed_batch,
+    skeleton_key,
+)
 from repro.core.induced import induced_count
 from repro.graph.csr import Graph
 from repro.graph.builder import graph_from_edges
@@ -86,8 +91,11 @@ __all__ = [
     "run_calibration",
     "set_active_profile",
     "DirectedMatcher",
+    "ReductionReport",
     "count_directed",
     "match_directed",
+    "reduce_directed_batch",
+    "skeleton_key",
     "induced_count",
     "Graph",
     "graph_from_edges",

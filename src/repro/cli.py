@@ -233,6 +233,9 @@ def cmd_count(args) -> int:
         print(f"time:     {format_seconds(elapsed)}")
         return 0
 
+    if args.mode == "directed" and "," in args.pattern:
+        return _cmd_count_directed_batch(args, graph, resolved_backend)
+
     try:
         data, pattern = _mode_inputs(args, graph)
     except ValueError as exc:
@@ -275,6 +278,44 @@ def cmd_count(args) -> int:
         print(f"autotune: {result.autotune_report.describe()}")
     if result.distributed_report is not None:
         _print_distributed_report(result.distributed_report)
+    return 0
+
+
+def _cmd_count_directed_batch(args, graph, resolved_backend) -> int:
+    """Batched directed counting: comma-separated pattern names routed
+    through ``MatchSession.count_many``, so orientations sharing an
+    undirected skeleton are served by one reduction pass."""
+    from repro.graph.digraph import digraph_from_edges
+    from repro.pattern.directed import get_directed_pattern
+
+    names = [s.strip() for s in args.pattern.split(",") if s.strip()]
+    try:
+        patterns = [get_directed_pattern(n) for n in names]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    data = digraph_from_edges(
+        list(graph.edges()), n_vertices=graph.n_vertices, name=graph.name
+    )
+    print(f"graph:   {data}")
+    print("orientation: undirected edges oriented low id -> high id")
+    print(f"batch:   {len(patterns)} directed patterns "
+          "(skeleton-sharing reduction where applicable)")
+    queries = [
+        MatchQuery(pattern=p, mode="directed", backend=resolved_backend)
+        for p in patterns
+    ]
+    session = get_session(data)
+    t0 = time.perf_counter()
+    results = session.count_many(queries)
+    elapsed = time.perf_counter() - t0
+    width = max(len(n) for n in names)
+    for name, res in zip(names, results):
+        print(f"  {name:<{width}}  count={res.count:<12d} backend={res.backend}")
+    reduced = [r for r in results if r.backend == "reduction"]
+    if reduced:
+        print(f"reduction: {reduced[0].provenance}")
+    print(f"time:    {format_seconds(elapsed)}")
     return 0
 
 
@@ -595,7 +636,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_count = sub.add_parser("count", help="count embeddings")
     p_count.add_argument("--pattern", default="house",
                          help="pattern name; with --mode directed use a "
-                              "directed name (ffl, bifan, dcycle-N, ...)")
+                              "directed name (ffl, bifan, dcycle-N, ...) or "
+                              "a comma-separated batch (counted via "
+                              "skeleton-sharing reduction)")
     p_count.add_argument("--mode", default="plain",
                          choices=["plain", "labeled", "directed"],
                          help="matching mode (default plain); labeled "

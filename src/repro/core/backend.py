@@ -14,7 +14,7 @@ so this module gives the system a single execution seam:
 * a registry — backends register under a name; ``get_backend`` builds
   them, ``select_backend`` implements the compiled-first default with
   automatic interpreter fallback for cases code generation does not
-  cover (enumeration, induced/labeled/directed modes).
+  cover (enumeration, IEP-suffix plans outside plain mode).
 
 Every consumer — :mod:`repro.core.api`, the CLI, the parallel runtime,
 the scenario layers and the mining workloads — dispatches through this
@@ -42,12 +42,14 @@ from typing import Any, Iterator
 
 from repro.core.codegen import (
     GeneratedCounter,
+    compile_directed_function,
     compile_induced_function,
     compile_labeled_function,
     compile_plan_function,
     compile_prefix_function,
 )
 from repro.core.config import Configuration, ExecutionPlan
+from repro.core.directed import DirectedPlan
 from repro.core.engine import Engine
 from repro.core.engine_variants import PreSliceEngine
 
@@ -407,6 +409,8 @@ def compile_for_context(ctx: MatchContext) -> GeneratedCounter:
         return compile_induced_function(ctx.plan)
     if ctx.mode == "labeled":
         return compile_labeled_function(ctx.plan, ctx.lpattern)
+    if ctx.mode == "directed":
+        return compile_directed_function(ctx.plan)
     raise BackendUnsupportedError(
         f"no kernel generator for mode {ctx.mode!r}"
     )
@@ -418,12 +422,17 @@ class CompiledBackend(ExecutionBackend):
 
     name = "compiled"
     capabilities = BackendCapabilities(
-        modes=frozenset({"plain", "induced", "labeled"}),
+        modes=frozenset({"plain", "induced", "labeled", "directed"}),
         iep=True,
         generated_kernels=True,
     )
 
     def supports(self, ctx: MatchContext) -> bool:
+        if ctx.mode == "directed":
+            # Directed kernels are innermost-count variants like the
+            # labeled/induced ones: IEP-suffix plans fall back (the
+            # session plans directed queries IEP-free anyway).
+            return isinstance(ctx.plan, DirectedPlan) and ctx.plan.iep_k == 0
         if not isinstance(ctx.plan, ExecutionPlan):
             return False
         if ctx.mode == "plain":

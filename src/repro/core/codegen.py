@@ -39,7 +39,8 @@ class GeneratedCounter:
     """A compiled counting function plus its source (for inspection).
 
     ``mode`` records the matching semantics the kernel was generated
-    for (``"plain"``/``"induced"``/``"labeled"``) — the backend uses it
+    for (``"plain"``/``"induced"``/``"labeled"``/``"directed"``) — the
+    backend uses it
     to detect that a cached kernel does not fit the current context
     (same plan object, different semantics) and must be regenerated.
     Labeled kernels take a :class:`~repro.graph.labeled.LabeledGraph`.
@@ -354,7 +355,7 @@ def _emit_iep(plan: ExecutionPlan, emit, pad: str, raw_var: dict[int, str]) -> N
     emit(f"{pad}total += {expr}")
 
 
-def _exec_generated(source: str, plan: ExecutionPlan, func_name: str):
+def _exec_generated(source: str, plan, func_name: str):
     namespace = {
         "np": np,
         "intersect_many": intersect_many,
@@ -362,8 +363,11 @@ def _exec_generated(source: str, plan: ExecutionPlan, func_name: str):
         "contains": contains,
         "difference": difference,
     }
-    exec(compile(source, f"<generated:{plan.config.pattern.name or 'pattern'}>", "exec"),
-         namespace)
+    # Undirected plans carry the pattern on plan.config; directed plans
+    # expose it directly.
+    pattern = getattr(getattr(plan, "config", plan), "pattern", None)
+    label = getattr(pattern, "name", "") or "pattern"
+    exec(compile(source, f"<generated:{label}>", "exec"), namespace)
     return namespace[func_name]
 
 
@@ -414,6 +418,138 @@ def compile_labeled_function(plan: ExecutionPlan, lpattern) -> GeneratedCounter:
     function = _exec_generated(source, plan, "generated_count_labeled")
     return GeneratedCounter(
         plan=plan, source=source, function=function, mode="labeled"
+    )
+
+
+def generate_directed_source(
+    plan, func_name: str = "generated_count_directed"
+) -> str:
+    """Emit the specialised counter for one directed plan.
+
+    The directed analogue of :func:`generate_source`: the loop nest is
+    unrolled over the plan's schedule, but each depth's raw candidate
+    set intersects *out*-CSR rows for its ``out_deps`` and *in*-CSR
+    rows for its ``in_deps`` (an antiparallel dependency contributes
+    both rows to the intersection).  Row bindings are hoisted to the
+    loop that binds their vertex — ``ob{j}``/``ib{j}`` are the out/in
+    rows of ``v{j}`` — and restriction bounds inline exactly as in the
+    undirected generator (they compare ids, never directions).
+
+    IEP plans are rejected: the session plans directed queries IEP-free
+    (``MatchQuery.resolved_use_iep`` is ``False`` outside plain mode),
+    and the overcount expansion has no directed generator.
+    """
+    if plan.iep_k > 0:
+        raise ValueError("directed kernels require an IEP-free plan (iep_k == 0)")
+    n = plan.n
+    indent = "    "
+    lines: list[str] = []
+    emit = lines.append
+
+    emit(f"def {func_name}(graph):")
+    emit(f'    """Generated directed counter: schedule={tuple(plan.schedule)},')
+    emit(f"    arcs={tuple(plan.pattern.arcs)},")
+    emit(f"    restrictions={sorted(plan.restrictions)}.")
+    emit('    """')
+    emit("    out_indptr = graph.out_indptr")
+    emit("    out_indices = graph.out_indices")
+    emit("    in_indptr = graph.in_indptr")
+    emit("    in_indices = graph.in_indices")
+    emit("    nv = graph.n_vertices")
+    emit(f"    if nv < {n}:")
+    emit("        return 0")
+    emit("    total = 0")
+    if any(not (plan.out_deps[d] or plan.in_deps[d]) for d in range(n)):
+        emit("    all_vertices = np.arange(nv, dtype=out_indices.dtype)")
+
+    # ------------------------------------------------------------------
+    # hoisting plan: which row bindings each bound vertex must expose,
+    # and where multi-dependency intersections are computed.
+    # ------------------------------------------------------------------
+    ob_needed = [
+        any(d in plan.out_deps[later] for later in range(d + 1, n)) for d in range(n)
+    ]
+    ib_needed = [
+        any(d in plan.in_deps[later] for later in range(d + 1, n)) for d in range(n)
+    ]
+    ref_vars = [
+        tuple(f"ob{j}" for j in plan.out_deps[d])
+        + tuple(f"ib{j}" for j in plan.in_deps[d])
+        for d in range(n)
+    ]
+    raw_var: dict[int, str] = {}
+    hoist_at: dict[int, list[int]] = {}
+    for d in range(n):
+        refs = ref_vars[d]
+        if not refs:
+            raw_var[d] = "all_vertices"
+        elif len(refs) == 1:
+            raw_var[d] = refs[0]
+        else:
+            raw_var[d] = f"c{d}"
+            hoist_at.setdefault(
+                max(plan.out_deps[d] + plan.in_deps[d]), []
+            ).append(d)
+
+    def emit_loop_body_setup(depth: int, pad: str) -> None:
+        if ob_needed[depth]:
+            emit(
+                f"{pad}ob{depth} = "
+                f"out_indices[out_indptr[v{depth}]:out_indptr[v{depth}+1]]"
+            )
+        if ib_needed[depth]:
+            emit(
+                f"{pad}ib{depth} = "
+                f"in_indices[in_indptr[v{depth}]:in_indptr[v{depth}+1]]"
+            )
+        for d in hoist_at.get(depth, ()):
+            args = ", ".join(ref_vars[d])
+            emit(f"{pad}c{d} = intersect_many([{args}])")
+
+    # ------------------------------------------------------------------
+    # outer loops
+    # ------------------------------------------------------------------
+    for depth in range(n - 1):
+        pad = indent * (depth + 1)
+        stmt, cand = _bounds_expr(plan, depth, raw_var[depth])
+        if stmt:
+            emit(f"{pad}{stmt}")
+        emit(f"{pad}for v{depth} in {cand}.tolist():")
+        body = indent * (depth + 2)
+        distinct = [f"v{depth} != v{j}" for j in range(depth)]
+        if distinct:
+            emit(f"{body}if not ({' and '.join(distinct)}):")
+            emit(f"{body}{indent}continue")
+        emit_loop_body_setup(depth, body)
+
+    # ------------------------------------------------------------------
+    # innermost loop: count without materialising
+    # ------------------------------------------------------------------
+    last = n - 1
+    pad = indent * (last + 1)
+    stmt, cand = _bounds_expr(plan, last, raw_var[last])
+    if stmt:
+        emit(f"{pad}{stmt}")
+    emit(f"{pad}cnt = len({cand})")
+    for j in range(last):
+        emit(f"{pad}if contains({cand}, v{j}):")
+        emit(f"{pad}{indent}cnt -= 1")
+    emit(f"{pad}total += cnt")
+    emit("    return total")
+    return "\n".join(lines) + "\n"
+
+
+def compile_directed_function(plan) -> GeneratedCounter:
+    """Generate, ``exec`` and wrap the directed counter.
+
+    The returned kernel takes a :class:`~repro.graph.digraph.DiGraph`
+    and is semantically identical to
+    :class:`repro.core.directed.DirectedEngine` on the same plan.
+    """
+    source = generate_directed_source(plan)
+    function = _exec_generated(source, plan, "generated_count_directed")
+    return GeneratedCounter(
+        plan=plan, source=source, function=function, mode="directed"
     )
 
 

@@ -327,7 +327,12 @@ class DirectedEngine:
         the master executes the outer loops (restrictions already
         applied), workers continue from each prefix.
         """
-        if not 1 <= split_depth < max(2, self.plan.n_loops):
+        if self.plan.n_loops < 2:
+            raise ValueError(
+                "prefix splitting needs at least two executed loops; this plan "
+                f"has n_loops={self.plan.n_loops} (IEP absorbed the rest)"
+            )
+        if not 1 <= split_depth < self.plan.n_loops:
             raise ValueError(
                 f"split_depth must be in [1, {self.plan.n_loops - 1}], got {split_depth}"
             )
@@ -545,12 +550,11 @@ class DirectedMatcher:
         """Count distinct directed embeddings.
 
         Dispatches through the unified session facade and its backend
-        registry (:mod:`repro.core.backend`); code generation does not
-        cover directed plans, so the compiled-first default resolves to
-        the interpreter, while ``backend="parallel"`` distributes prefix
-        tasks over worker processes.  An explicit ``report`` executes
-        that exact plan; otherwise plans are cached on the graph's
-        shared session.
+        registry (:mod:`repro.core.backend`); directed plans are served
+        by the compiled and vectorised fast paths (IEP-free plans), with
+        ``backend="parallel"`` distributing prefix tasks over worker
+        processes.  An explicit ``report`` executes that exact plan;
+        otherwise plans are cached on the graph's shared session.
         """
         if report is not None:
             from repro.core.backend import MatchContext, select_backend
@@ -572,7 +576,11 @@ class DirectedMatcher:
         backend=None,
     ) -> Iterator[tuple[int, ...]]:
         """Yield distinct directed embeddings (tuples by pattern vertex)."""
-        if report is not None and not report.plan.iep_k:
+        if report is not None:
+            if report.plan.iep_k:
+                raise ValueError(
+                    "enumeration requires a plan compiled with iep_k=0"
+                )
             from repro.core.backend import MatchContext, select_backend
 
             ctx = MatchContext(graph=graph, plan=report.plan, mode="directed")

@@ -197,7 +197,12 @@ class Engine:
         dependencies at those depths are already applied, so workers
         receive only viable prefixes.
         """
-        if not 1 <= split_depth < max(2, self.plan.n_loops):
+        if self.plan.n_loops < 2:
+            raise ValueError(
+                "prefix splitting needs at least two executed loops; this plan "
+                f"has n_loops={self.plan.n_loops} (IEP absorbed the rest)"
+            )
+        if not 1 <= split_depth < self.plan.n_loops:
             raise ValueError(
                 f"split_depth must be in [1, {self.plan.n_loops - 1}], got {split_depth}"
             )

@@ -1,0 +1,220 @@
+"""Skeleton-sharing reduction for batched directed queries (XMiner).
+
+XMiner's observation: many directed patterns are orientations of the
+same undirected *skeleton*, so a batch of directed counting queries can
+share one enumeration of that skeleton and diverge only in a cheap
+per-embedding classification step.  This module implements that
+reduction on top of the repository's own machinery:
+
+1. **Group** the batch by exact skeleton (:func:`skeleton_key`).
+2. **Enumerate the shared core once**: the skeleton is planned through
+   the regular undirected session (plan cache and all) against the
+   digraph's undirected view, and its distinct embeddings stream out as
+   whole frontier *blocks* (:meth:`FrontierEngine.frontier_blocks` —
+   2-D arrays, never per-embedding tuples).
+3. **Classify each core embedding** against every pattern's arc
+   constraints: restrictions made the skeleton enumeration emit one
+   representative per ``Aut(skeleton)``-orbit of injective maps, so
+   composing each block with every skeleton automorphism sweeps *all*
+   injective skeleton homomorphisms exactly once (the precomposition
+   action is free on injective maps).  Per automorphism, each needed
+   arc direction costs one bulk membership probe against the digraph's
+   out-CSR keys, shared across every pattern in the group.
+4. **Divide** each pattern's surviving-map total by its directed
+   automorphism count — exact by the orbit argument, asserted.
+
+The arithmetic, explicitly: for patterns ``P`` sharing skeleton ``S``,
+
+    count(P) = (1 / |dAut(P)|) * sum over enumerated embeddings e,
+               sum over sigma in Aut(S) of
+               [forall (u, w) in arcs(P): e[sigma(u)] -> e[sigma(w)]]
+
+:meth:`MatchSession.count_many <repro.core.session.MatchSession.
+count_many>` applies this automatically to directed batches (the
+``reduce`` knob controls it); :func:`reduce_directed_batch` is the
+direct entry point.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.intersection import bulk_contains_sorted
+from repro.pattern.automorphism import automorphisms
+from repro.pattern.directed import DiPattern, directed_automorphism_count
+from repro.utils.timing import Timer
+
+#: per-digraph undirected view, weakly keyed — the skeleton session and
+#: its plan cache must be shared across repeated batched calls.
+_UNDIRECTED_CACHE: "weakref.WeakKeyDictionary[DiGraph, object]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def undirected_view(graph: DiGraph):
+    """The digraph's undirected skeleton graph, one per live digraph.
+
+    ``DiGraph.to_undirected`` rebuilds an O(E) CSR per call; reduction
+    (and anything else enumerating on the view) needs the *same* graph
+    object back each time so ``get_session`` reuses one session and its
+    plan cache.
+    """
+    g = _UNDIRECTED_CACHE.get(graph)
+    if g is None:
+        g = graph.to_undirected()
+        _UNDIRECTED_CACHE[graph] = g
+    return g
+
+
+def skeleton_key(pattern: DiPattern) -> tuple:
+    """Exact-skeleton grouping key: ``(n_vertices, sorted edge tuple)``.
+
+    Deliberately *exact* (not isomorphism-canonical): two orientations
+    share a core enumeration only when their skeletons are literally
+    the same labeled graph.  Isomorphic-but-relabeled skeletons fall
+    back to per-pattern counting — correct, just unshared.
+    """
+    skeleton = pattern.skeleton()
+    return (skeleton.n_vertices, tuple(sorted(skeleton.edges)))
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """What one shared-core evaluation did (``MatchResult.provenance``)."""
+
+    skeleton_key: tuple
+    n_patterns: int
+    n_automorphisms: int
+    n_core_embeddings: int
+    n_blocks: int
+    core_backend: str
+    seconds_total: float
+
+    def describe(self) -> str:
+        return (
+            f"reduction[{self.n_patterns} patterns over shared skeleton "
+            f"{self.skeleton_key}; {self.n_core_embeddings} core embeddings "
+            f"x {self.n_automorphisms} automorphisms in {self.n_blocks} "
+            f"blocks via {self.core_backend}]"
+        )
+
+
+def _core_blocks(graph: DiGraph, skeleton):
+    """Stream the skeleton's distinct embeddings as schedule-ordered
+    blocks, plus the schedule that orders their columns.
+
+    Returns ``(blocks, schedule, core_backend)`` where ``blocks`` is an
+    iterator of ``(n_embeddings, n)`` arrays with column ``d`` holding
+    the vertex bound at schedule position ``d``.
+    """
+    from repro.core.query import MatchQuery
+    from repro.core.session import get_session
+    from repro.core.vectorised import FrontierEngine
+
+    ug = undirected_view(graph)
+    session = get_session(ug)
+    query = MatchQuery(pattern=skeleton, use_iep=False)
+    entry, _ = session._lookup_or_plan(query)
+    plan = entry.plan
+    schedule = plan.config.schedule
+    try:
+        engine = FrontierEngine(ug, plan)
+        return engine.frontier_blocks(), schedule, "vectorised"
+    except ValueError:
+        # IEP-suffix or disconnected-prefix plan (neither is produced
+        # for use_iep=False phase-1 schedules, but stay correct): fall
+        # back to interpreted enumeration, batched into blocks.
+        def blocks():
+            batch: list[tuple[int, ...]] = []
+            for emb in session.enumerate(query):
+                # session tuples are pattern-vertex-ordered; restore
+                # schedule order to match the vectorised block layout.
+                batch.append(tuple(emb[schedule[d]] for d in range(len(schedule))))
+                if len(batch) >= 65536:
+                    yield np.asarray(batch, dtype=np.int64)
+                    batch.clear()
+            if batch:
+                yield np.asarray(batch, dtype=np.int64)
+
+        return blocks(), schedule, "interpreter"
+
+
+def reduce_directed_batch(
+    graph: DiGraph, patterns: Sequence[DiPattern]
+) -> tuple[list[int], ReductionReport]:
+    """Count every pattern of one skeleton group via the shared core.
+
+    All ``patterns`` must share the same :func:`skeleton_key`; counts
+    come back in input order and equal per-pattern
+    :meth:`DirectedMatcher.count <repro.core.directed.DirectedMatcher.
+    count>` exactly (property-tested).
+    """
+    from repro.core.vectorised import _digraph_edge_keys
+
+    if not patterns:
+        raise ValueError("reduce_directed_batch needs at least one pattern")
+    keys = {skeleton_key(p) for p in patterns}
+    if len(keys) != 1:
+        raise ValueError(
+            f"patterns must share one skeleton, got {len(keys)} distinct: "
+            f"{sorted(keys)}"
+        )
+    with Timer() as t:
+        skeleton = patterns[0].skeleton()
+        auts = automorphisms(skeleton)
+        arc_sets = [tuple(p.arcs) for p in patterns]
+        needed_arcs = sorted({arc for arcs in arc_sets for arc in arcs})
+        out_keys, _ = _digraph_edge_keys(graph)
+        n = np.int64(graph.n_vertices)
+
+        blocks, schedule, core_backend = _core_blocks(graph, skeleton)
+        pos = {v: d for d, v in enumerate(schedule)}
+        raw = [0] * len(patterns)
+        n_core = 0
+        n_blocks = 0
+        for block in blocks:
+            n_core += len(block)
+            n_blocks += 1
+            cols = {v: block[:, pos[v]] for v in range(skeleton.n_vertices)}
+            for sigma in auts:
+                # One membership probe per needed arc direction, shared
+                # by every pattern in the group.
+                arc_mask = {
+                    (u, w): bulk_contains_sorted(
+                        out_keys, cols[sigma[u]] * n + cols[sigma[w]]
+                    )
+                    for (u, w) in needed_arcs
+                }
+                for i, arcs in enumerate(arc_sets):
+                    if not arcs:
+                        raw[i] += len(block)
+                        continue
+                    mask = arc_mask[arcs[0]]
+                    for arc in arcs[1:]:
+                        mask = mask & arc_mask[arc]
+                    raw[i] += int(mask.sum())
+        counts = []
+        for p, r in zip(patterns, raw):
+            divisor = directed_automorphism_count(p)
+            q, rem = divmod(r, divisor)
+            if rem:
+                raise AssertionError(
+                    "directed automorphism division must be exact: "
+                    f"{r} / {divisor} for {p!r}"
+                )
+            counts.append(q)
+    report = ReductionReport(
+        skeleton_key=next(iter(keys)),
+        n_patterns=len(patterns),
+        n_automorphisms=len(auts),
+        n_core_embeddings=n_core,
+        n_blocks=n_blocks,
+        core_backend=core_backend,
+        seconds_total=t.elapsed,
+    )
+    return counts, report

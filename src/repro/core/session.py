@@ -59,6 +59,7 @@ from repro.core.backend import (
 )
 from repro.core.codegen import (
     GeneratedCounter,
+    compile_directed_function,
     compile_induced_function,
     compile_labeled_function,
     compile_plan_function,
@@ -522,12 +523,17 @@ class MatchSession:
         report = matcher.plan(
             self.graph, use_iep=query.resolved_use_iep, stats=self.stats
         )
+        caps = capabilities_of(query.backend)
+        wants_kernel = caps is None or caps.generated_kernels
+        generated = None
+        if query.use_codegen and wants_kernel and report.plan.iep_k == 0:
+            generated = compile_directed_function(report.plan)
         return PlanEntry(
             key=key,
             mode="directed",
             semantics=query.semantics,
             plan=report.plan,
-            generated=None,
+            generated=generated,
             lpattern=None,
             provenance=(
                 f"schedule={report.chosen_schedule} "
@@ -588,7 +594,6 @@ class MatchSession:
         if (
             chosen.name == "compiled"
             and ctx.generated is None
-            and isinstance(entry.plan, ExecutionPlan)
             and chosen.supports(ctx)
         ):
             generated = compile_for_context(ctx)
@@ -680,14 +685,65 @@ class MatchSession:
         queries,
         *,
         backend: str | ExecutionBackend | None = None,
+        reduce: "bool | str" = "auto",
     ) -> list[MatchResult]:
         """Count a batch of queries (plans shared through the cache).
 
         The batch entry point for repeated-query workloads: a motif
         census, a significance ensemble, a service draining a request
         queue.  Results are returned in input order.
+
+        On a digraph session, directed queries sharing an undirected
+        skeleton are served by XMiner-style reduction
+        (:mod:`repro.core.reduction`): the skeleton core is enumerated
+        once and every orientation classified against it, instead of
+        one full matching run per pattern.  ``reduce="auto"`` (default)
+        applies it to groups of two or more queries with no explicit
+        backend preference anywhere (call, query or session —
+        reduction chooses its own core executor); ``True`` forces it
+        for every directed group, ``False`` disables it.  Reduced
+        results carry ``backend="reduction"`` and the shared-core
+        summary in ``provenance``.
         """
-        return [self.count(q, backend=backend) for q in queries]
+        if reduce not in (True, False, "auto"):
+            raise ValueError('reduce must be True, False or "auto"')
+        queries = [as_query(q) for q in queries]
+        results: list[MatchResult | None] = [None] * len(queries)
+        groups: dict[tuple, list[int]] = {}
+        if reduce is not False and isinstance(self.graph, DiGraph):
+            from repro.core.reduction import skeleton_key
+
+            no_preference = backend is None and self.backend is None
+            for i, query in enumerate(queries):
+                if query.mode != "directed":
+                    continue
+                if reduce == "auto" and not (no_preference and query.backend is None):
+                    continue
+                groups.setdefault(skeleton_key(query.pattern), []).append(i)
+        for key, members in groups.items():
+            if len(members) < 2:
+                continue
+            from repro.core.reduction import reduce_directed_batch
+
+            counts, report = reduce_directed_batch(
+                self.graph, [queries[i].pattern for i in members]
+            )
+            for i, n in zip(members, counts):
+                results[i] = MatchResult(
+                    count=n,
+                    backend="reduction",
+                    mode="directed",
+                    semantics=queries[i].semantics,
+                    cache_hit=False,
+                    seconds_plan=0.0,
+                    seconds_execute=report.seconds_total / len(members),
+                    provenance=report.describe(),
+                    fingerprint=queries[i].fingerprint,
+                )
+        for i, query in enumerate(queries):
+            if results[i] is None:
+                results[i] = self.count(query, backend=backend)
+        return results
 
     # -- cache management ----------------------------------------------
     def cache_info(self) -> CacheInfo:

@@ -59,13 +59,26 @@ masks (``~bulk_contains_sorted`` plus ``!=``) against each
 non-adjacent bound column — exactly
 :class:`repro.core.induced.InducedEngine`'s ``difference`` calls, bulk.
 
+Directed execution
+------------------
+:class:`DirectedFrontierEngine` runs the same pipeline over a
+:class:`~repro.graph.digraph.DiGraph` under a
+:class:`~repro.core.directed.DirectedPlan`: each depth's candidate pool
+is drawn from the *out*-CSR rows of its ``out_deps`` columns and the
+*in*-CSR rows of its ``in_deps`` columns (an antiparallel dependency
+contributes one membership probe against each CSR), with restriction
+windows resolved by exactly the keyed binary search of the undirected
+engine — each CSR carries its own sorted ``u * n + v`` key array, so
+"is ``c`` a successor/predecessor of ``x``" is the same ``x * n + c``
+probe against the matching key array.
+
 What the backend deliberately does **not** cover (the automatic
 interpreter fallback in :func:`~repro.core.backend.select_backend`
 handles these): plans compiled with an IEP suffix (``iep_k > 0``) —
 IEP evaluates per-prefix counting formulas that do not vectorise
 across a frontier (the session layer plans IEP-free when this backend
-is preferred) — directed contexts, and schedules with a disconnected
-prefix (the phase-1 generator never emits these).
+is preferred) — and schedules with a disconnected prefix (the phase-1
+generator never emits these).
 
 Frontiers grow multiplicatively with depth, so :class:`FrontierEngine`
 bounds peak memory by processing the root vertices in chunks
@@ -84,7 +97,9 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.config import ExecutionPlan
+from repro.core.directed import DirectedPlan
 from repro.graph.csr import Graph
+from repro.graph.digraph import DiGraph
 from repro.graph.intersection import (
     bulk_contains_sorted,
     bulk_intersect_rows,
@@ -779,6 +794,262 @@ class FrontierEngine:
                 remaining -= 1
                 yield tuple(int(row[inverse[v]]) for v in range(len(schedule)))
 
+    def frontier_blocks(self) -> Iterator[np.ndarray]:
+        """Yield fully-extended frontier blocks, one per root chunk.
+
+        Each block is an ``(n_embeddings, plan.n)`` int64 array whose
+        column ``d`` holds the data vertex bound at schedule position
+        ``d`` — the raw material of skeleton-sharing reduction
+        (:mod:`repro.core.reduction`), which classifies whole blocks
+        against directed arc constraints without ever materialising
+        per-embedding tuples.  Requires an IEP-free plan (enforced at
+        construction).
+        """
+        plan = self.plan
+        if plan.n > self._n:
+            return
+        for roots in self._root_chunks():
+            front = roots[:, None]
+            prev: _CandidateSource | None = None
+            for depth in range(1, plan.n):
+                owner, cand, src = self._extend(front, depth, prev)
+                if len(cand) == 0:
+                    front = front[:0]
+                    break
+                front = np.concatenate([front[owner], cand[:, None]], axis=1)
+                prev = src.aligned(owner) if src.materialised else None
+            if len(front):
+                yield front
+
+
+# ---------------------------------------------------------------------------
+# directed frontiers
+# ---------------------------------------------------------------------------
+#: per-digraph (out_keys, in_keys) sorted key arrays, weakly keyed for
+#: the same lifetime reasons as ``_EDGE_KEY_CACHE``.
+_DIGRAPH_KEY_CACHE: "weakref.WeakKeyDictionary[DiGraph, tuple[np.ndarray, np.ndarray]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _digraph_edge_keys(graph: DiGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted ``u * n + v`` key arrays over the out- and in-CSR.
+
+    Each key array is built over its *own* CSR's rows, so both
+    directions answer with the same probe shape: ``c`` is a successor
+    of ``x`` iff ``x * n + c`` is in ``out_keys``, and a predecessor
+    iff it is in ``in_keys``.
+    """
+    keys = _DIGRAPH_KEY_CACHE.get(graph)
+    if keys is None:
+        keys = (
+            sorted_edge_keys(graph.out_indptr, graph.out_indices),
+            sorted_edge_keys(graph.in_indptr, graph.in_indices),
+        )
+        _DIGRAPH_KEY_CACHE[graph] = keys
+    return keys
+
+
+class _DepRef:
+    """One adjacency constraint at a depth: the new vertex must lie in
+    the CSR row (out or in) of the value bound at frontier column
+    ``col``.  An antiparallel pattern pair produces two refs on the
+    same column, one per direction."""
+
+    __slots__ = ("col", "indptr", "indices", "keys")
+
+    def __init__(self, col, indptr, indices, keys):
+        self.col = col
+        self.indptr = indptr
+        self.indices = indices
+        self.keys = keys
+
+
+class DirectedFrontierEngine:
+    """Bulk frontier execution of one IEP-free :class:`DirectedPlan`.
+
+    The directed counterpart of :class:`FrontierEngine` and the
+    vectorised counterpart of
+    :class:`repro.core.directed.DirectedEngine`: same plan, same
+    counts, one bulk array operation per loop depth.  Candidates at
+    depth ``d`` come from the out-CSR rows of the ``out_deps[d]``
+    columns and the in-CSR rows of the ``in_deps[d]`` columns; the
+    restriction machinery (per-row windows via keyed binary search) is
+    unchanged from the undirected engine because restrictions only
+    compare vertex ids, never directions.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        plan: DirectedPlan,
+        *,
+        root_chunk: int = DEFAULT_ROOT_CHUNK,
+    ):
+        if plan.iep_k > 0:
+            raise ValueError(
+                "the frontier engine requires an IEP-free plan (iep_k=0); "
+                "plan with use_iep=False or fall back to the interpreter"
+            )
+        if any(
+            not (plan.out_deps[d] or plan.in_deps[d]) for d in range(1, plan.n)
+        ):
+            raise ValueError(
+                "the frontier engine requires a connected-prefix schedule "
+                "(every depth past the first needs a dependency to pivot on)"
+            )
+        if root_chunk < 1:
+            raise ValueError("root_chunk must be >= 1")
+        self.graph = graph
+        self.plan = plan
+        self.root_chunk = root_chunk
+        self._n = graph.n_vertices
+        out_keys, in_keys = _digraph_edge_keys(graph)
+        refs: list[tuple[_DepRef, ...]] = []
+        dep_cols: list[frozenset[int]] = []
+        for d in range(plan.n):
+            refs.append(
+                tuple(
+                    _DepRef(j, graph.out_indptr, graph.out_indices, out_keys)
+                    for j in plan.out_deps[d]
+                )
+                + tuple(
+                    _DepRef(j, graph.in_indptr, graph.in_indices, in_keys)
+                    for j in plan.in_deps[d]
+                )
+            )
+            dep_cols.append(frozenset(plan.out_deps[d]) | frozenset(plan.in_deps[d]))
+        self._refs = tuple(refs)
+        self._dep_cols = tuple(dep_cols)
+
+    def _bounds(
+        self, front: np.ndarray, depth: int
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Per-row restriction window, exactly :meth:`FrontierEngine._bounds`."""
+        plan = self.plan
+        lower, upper = plan.lower[depth], plan.upper[depth]
+        lo = front[:, lower].max(axis=1) if lower else None
+        hi = front[:, upper].min(axis=1) if upper else None
+        return lo, hi
+
+    def _ref_ranges(
+        self,
+        ref: _DepRef,
+        values: np.ndarray,
+        lo: np.ndarray | None,
+        hi: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, counts)`` of each value's row in ``ref``'s CSR,
+        clipped to the per-row window by keyed binary search."""
+        keyed = values * self._n
+        starts = (
+            ref.indptr[values]
+            if lo is None
+            else np.searchsorted(ref.keys, keyed + lo, side="right")
+        )
+        ends = (
+            ref.indptr[values + 1]
+            if hi is None
+            else np.searchsorted(ref.keys, keyed + hi, side="left")
+        )
+        return starts, np.maximum(ends - starts, 0)
+
+    def _extend(
+        self, front: np.ndarray, depth: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All valid ``(owner, candidate)`` extensions of ``front``.
+
+        The pivot is the dependency ref whose windowed rows expand to
+        the fewest pairs (chosen by ref, not by column — an
+        antiparallel column carries one ref per direction and both
+        probes must run); the remaining refs become bulk membership
+        filters against their own key arrays.
+        """
+        n = self._n
+        refs = self._refs[depth]
+        lo, hi = self._bounds(front, depth)
+        best = None
+        for i, ref in enumerate(refs):
+            starts, counts = self._ref_ranges(ref, front[:, ref.col], lo, hi)
+            total = int(counts.sum())
+            if best is None or total < best[0]:
+                best = (total, i, starts, counts)
+        _, pivot_i, starts, counts = best
+        owner, cand = gather_ranges(refs[pivot_i].indices, starts, counts)
+        mask = np.ones(len(cand), dtype=bool)
+        for i, ref in enumerate(refs):
+            if i == pivot_i:
+                continue
+            mask &= bulk_contains_sorted(ref.keys, front[owner, ref.col] * n + cand)
+        # Injectivity: adjacency rules out the dependency columns (no
+        # self-loops), only non-adjacent bound vertices remain.
+        deps = self._dep_cols[depth]
+        for j in range(depth):
+            if j not in deps:
+                mask &= cand != front[owner, j]
+        return owner[mask], cand[mask]
+
+    def _root_chunks(self, first: int | None = None) -> Iterator[np.ndarray]:
+        roots = self.graph.vertices()
+        start, size = 0, min(first or self.root_chunk, self.root_chunk)
+        while start < len(roots):
+            yield roots[start : start + size]
+            start += size
+            size = min(size * 2, self.root_chunk)
+
+    def count(self) -> int:
+        """Total embeddings under this plan (cf. ``DirectedEngine.count``)."""
+        return self.count_roots(self.graph.vertices())
+
+    def count_roots(self, roots) -> int:
+        """Embeddings rooted in ``roots`` — the distributed task entry
+        point, summing to :meth:`count` over any partition."""
+        plan = self.plan
+        if plan.n > self._n:
+            return 0
+        roots = np.asarray(roots, dtype=np.int64)
+        if plan.n == 1:
+            return len(roots)
+        total = 0
+        for start in range(0, len(roots), self.root_chunk):
+            front = roots[start : start + self.root_chunk, None]
+            for depth in range(1, plan.n):
+                owner, cand = self._extend(front, depth)
+                if depth == plan.n - 1:
+                    total += len(cand)
+                    break
+                if len(cand) == 0:
+                    break
+                front = np.concatenate([front[owner], cand[:, None]], axis=1)
+        return total
+
+    def enumerate_embeddings(
+        self, limit: int | None = None
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield embeddings as tuples indexed by pattern vertex (lazy,
+        chunked like :meth:`FrontierEngine.enumerate_embeddings`)."""
+        plan = self.plan
+        if plan.n > self._n:
+            return
+        schedule = plan.schedule
+        inverse = [0] * len(schedule)
+        for pos, v in enumerate(schedule):
+            inverse[v] = pos
+        remaining = float("inf") if limit is None else limit
+        for roots in self._root_chunks(first=64 if limit is not None else None):
+            front = roots[:, None]
+            for depth in range(1, plan.n):
+                owner, cand = self._extend(front, depth)
+                if len(cand) == 0:
+                    front = front[:0]
+                    break
+                front = np.concatenate([front[owner], cand[:, None]], axis=1)
+            for row in front:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+                yield tuple(int(row[inverse[v]]) for v in range(len(schedule)))
+
 
 # ---------------------------------------------------------------------------
 # the registered backend
@@ -793,8 +1064,33 @@ from repro.core.backend import (  # noqa: E402
     register_backend,
 )
 
-#: the matching modes the frontier pipeline executes directly.
+#: the matching modes the undirected frontier pipeline executes directly.
 _FRONTIER_MODES = frozenset({"plain", "induced", "labeled"})
+
+
+def frontier_engine_for(
+    ctx: MatchContext,
+    *,
+    root_chunk: int = DEFAULT_ROOT_CHUNK,
+    aux: "bool | str" = "auto",
+) -> "FrontierEngine | DirectedFrontierEngine":
+    """Build the right frontier engine for a match context.
+
+    The one place that knows which engine class serves which mode —
+    shared by :class:`VectorisedBackend` and the distributed task
+    counter (:func:`repro.runtime.distributed.make_task_counter`), so a
+    new frontier-served mode lights up everywhere at once.
+    """
+    if ctx.mode == "directed":
+        return DirectedFrontierEngine(ctx.graph, ctx.plan, root_chunk=root_chunk)
+    return FrontierEngine(
+        ctx.graph,
+        ctx.plan,
+        root_chunk=root_chunk,
+        aux=aux,
+        lpattern=ctx.lpattern if ctx.mode == "labeled" else None,
+        induced=ctx.mode == "induced",
+    )
 
 
 @register_backend
@@ -810,7 +1106,7 @@ class VectorisedBackend(ExecutionBackend):
     name = "vectorised"
     supports_enumeration = True
     capabilities = BackendCapabilities(
-        modes=_FRONTIER_MODES,
+        modes=frozenset(_FRONTIER_MODES | {"directed"}),
         iep=False,
         enumeration=True,
     )
@@ -822,6 +1118,15 @@ class VectorisedBackend(ExecutionBackend):
         self.aux = aux
 
     def supports(self, ctx: MatchContext) -> bool:
+        if ctx.mode == "directed":
+            return (
+                isinstance(ctx.plan, DirectedPlan)
+                and ctx.plan.iep_k == 0
+                and all(
+                    ctx.plan.out_deps[d] or ctx.plan.in_deps[d]
+                    for d in range(1, ctx.plan.n)
+                )
+            )
         return (
             ctx.mode in _FRONTIER_MODES
             and isinstance(ctx.plan, ExecutionPlan)
@@ -829,15 +1134,8 @@ class VectorisedBackend(ExecutionBackend):
             and all(ctx.plan.deps[d] for d in range(1, ctx.plan.n))
         )
 
-    def _engine(self, ctx: MatchContext) -> FrontierEngine:
-        return FrontierEngine(
-            ctx.graph,
-            ctx.plan,
-            root_chunk=self.root_chunk,
-            aux=self.aux,
-            lpattern=ctx.lpattern if ctx.mode == "labeled" else None,
-            induced=ctx.mode == "induced",
-        )
+    def _engine(self, ctx: MatchContext) -> "FrontierEngine | DirectedFrontierEngine":
+        return frontier_engine_for(ctx, root_chunk=self.root_chunk, aux=self.aux)
 
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)

@@ -132,14 +132,22 @@ class DiGraph:
     # conversions
     # ------------------------------------------------------------------
     def to_undirected(self) -> Graph:
-        """Collapse arc directions (antiparallel pairs merge into one edge)."""
-        from repro.graph.builder import graph_from_edges
+        """Collapse arc directions (antiparallel pairs merge into one edge).
+
+        Vertex ids are preserved (no compaction): consumers such as the
+        skeleton-sharing reduction classify undirected-view embeddings
+        against this digraph's arcs, so both graphs must index the same
+        vertex space even when some vertices are isolated.
+        """
+        from repro.graph.builder import GraphBuilder
         from repro.graph.generators import empty_graph, _pad_isolated
 
         edges = list(self.arcs())
         if not edges:
             return empty_graph(self.n_vertices, name=self.name)
-        g = graph_from_edges(edges, name=self.name)
+        builder = GraphBuilder(compact_ids=False, name=self.name)
+        builder.add_edges(edges)
+        g = builder.build()
         if g.n_vertices < self.n_vertices:
             g = _pad_isolated(g, self.n_vertices)
         return g
@@ -165,6 +173,16 @@ class DiGraph:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f"{self.name!r}, " if self.name else ""
         return f"DiGraph({label}{self.n_vertices} vertices, {self.n_arcs} arcs)"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return np.array_equal(self.out_indptr, other.out_indptr) and np.array_equal(
+            self.out_indices, other.out_indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_vertices, self.n_arcs, self.out_indices[:16].tobytes()))
 
 
 # ---------------------------------------------------------------------------

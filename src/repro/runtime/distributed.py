@@ -150,8 +150,8 @@ def make_task_counter(
     where the preferred strategy cannot serve the context:
 
     * ``"vectorised"`` — one bulk frontier sweep per range (plain,
-      labeled or induced IEP-free, connected-prefix plans); otherwise
-      falls through to
+      labeled, induced or directed IEP-free, connected-prefix plans);
+      otherwise falls through to
     * ``"compiled"`` — the generated depth-1 prefix kernel, summed per
       root (plain :class:`~repro.core.config.ExecutionPlan` with at
       least two loops); otherwise
@@ -163,18 +163,14 @@ def make_task_counter(
     ``make_engine(ctx).finalize_count`` to the total.
     """
     _check_inner(inner)
-    from repro.core.vectorised import FrontierEngine, VectorisedBackend
+    from repro.core.vectorised import VectorisedBackend, frontier_engine_for
 
     # Eligibility is the vectorised backend's own supports() predicate —
-    # one definition of what the frontier engine covers, no drift.
+    # one definition of what the frontier engine covers, no drift; the
+    # factory then builds the engine class matching the mode (directed
+    # contexts get the directed frontier engine).
     if inner == "vectorised" and VectorisedBackend().supports(ctx):
-        engine = FrontierEngine(
-            ctx.graph,
-            ctx.plan,
-            lpattern=ctx.lpattern if ctx.mode == "labeled" else None,
-            induced=ctx.mode == "induced",
-        )
-        return engine.count_roots, "vectorised"
+        return frontier_engine_for(ctx).count_roots, "vectorised"
     worker = "compiled" if inner in ("vectorised", "compiled") else "interpreter"
     prefix_counter, effective = make_prefix_counter(ctx, 1, worker)
     return (

@@ -71,7 +71,8 @@ class TestRegistry:
             assert info.name == name
             assert info.capabilities.modes  # every backend covers something
         assert infos["interpreter"].capabilities.supports_mode("labeled")
-        assert not infos["compiled"].capabilities.supports_mode("directed")
+        assert infos["compiled"].capabilities.supports_mode("directed")
+        assert infos["vectorised"].capabilities.supports_mode("directed")
         assert infos["compiled"].capabilities.generated_kernels
         assert not infos["vectorised"].capabilities.iep
 
@@ -131,13 +132,22 @@ class TestSelection:
         chosen = select_backend(ctx, "compiled", for_enumeration=True)
         assert chosen.name == "interpreter"
 
-    def test_unsupported_mode_falls_back(self, er_small):
-        # Directed contexts carry a DirectedPlan the generated kernels
-        # cannot execute; the selection policy must drop to the interpreter.
-        plan = DirectedMatcher(transitive_triangle()).plan(
-            random_digraph(20, 0.2, seed=1)
-        ).plan
-        ctx = MatchContext(graph=er_small, plan=plan, mode="directed")
+    def test_directed_stays_on_compiled(self, er_small):
+        # Directed kernels are first-class now: an IEP-free DirectedPlan
+        # runs on the compiled backend, no interpreter fallback.
+        dg = random_digraph(20, 0.2, seed=1)
+        plan = DirectedMatcher(transitive_triangle()).plan(dg).plan
+        ctx = MatchContext(graph=dg, plan=plan, mode="directed")
+        assert select_backend(ctx, "compiled").name == "compiled"
+
+    def test_directed_iep_plan_falls_back(self, er_small):
+        # The directed kernels are innermost-count variants; an
+        # IEP-suffix directed plan must drop to the interpreter.
+        dg = random_digraph(20, 0.2, seed=1)
+        plan = DirectedMatcher(transitive_triangle()).plan(dg, use_iep=True).plan
+        if plan.iep_k == 0:
+            pytest.skip("planner chose an IEP-free plan for this workload")
+        ctx = MatchContext(graph=dg, plan=plan, mode="directed")
         assert select_backend(ctx, "compiled").name == "interpreter"
 
     def test_induced_and_labeled_stay_on_compiled(self, er_small):
@@ -163,6 +173,8 @@ class TestSelection:
             get_backend("compiled").enumerate_embeddings(ctx)
 
     def test_require_raises_for_wrong_mode(self, er_small):
+        # A directed context must carry a DirectedPlan; an undirected
+        # ExecutionPlan mislabeled as directed is refused, not executed.
         ctx = MatchContext(graph=er_small, plan=make_plan(triangle()), mode="directed")
         with pytest.raises(BackendUnsupportedError):
             get_backend("compiled").count(ctx)

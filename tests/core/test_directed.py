@@ -289,6 +289,17 @@ class TestPrefixTasks:
         with pytest.raises(ValueError):
             list(engine.iter_prefixes(3))
 
+    def test_single_loop_plan_cannot_split(self, dig_small):
+        # out-star-2 with iep_k=2 leaves one executed loop: splitting is
+        # meaningless and must raise a clean ValueError (the old
+        # max(2, n_loops) guard let split_depth=1 through to an
+        # IndexError inside the prefix walk).
+        plan = compile_directed_plan(out_star(2), (0, 1, 2), frozenset(), iep_k=2)
+        assert plan.n_loops == 1
+        engine = DirectedEngine(dig_small, plan)
+        with pytest.raises(ValueError, match="at least two executed loops"):
+            list(engine.iter_prefixes(1))
+
 
 class TestDirectedIEP:
     """§IV-D counting carried over to the directed extension."""
@@ -326,6 +337,24 @@ class TestDirectedIEP:
             pytest.skip("no IEP suffix realised")
         with pytest.raises(ValueError, match="iep_k=0"):
             DirectedEngine(dig_small, rep.plan).enumerate_embeddings()
+
+    def test_match_rejects_iep_report(self, dig_small):
+        # match(report=...) used to silently re-plan and drop the passed
+        # report when it carried an IEP suffix; it must refuse instead,
+        # matching DirectedEngine.enumerate_embeddings.
+        m = DirectedMatcher(bi_fan())
+        rep = m.plan(dig_small, use_iep=True)
+        if rep.plan.iep_k == 0:
+            pytest.skip("no IEP suffix realised")
+        with pytest.raises(ValueError, match="iep_k=0"):
+            m.match(dig_small, report=rep)
+
+    def test_match_honours_iep_free_report(self, dig_small):
+        m = DirectedMatcher(transitive_triangle())
+        rep = m.plan(dig_small)
+        got = {tuple(e) for e in m.match(dig_small, report=rep)}
+        want = {tuple(e) for e in m.match(dig_small)}
+        assert got == want and len(got) == m.count(dig_small)
 
     def test_compile_rejects_bad_iep_k(self):
         p = directed_cycle(4)  # skeleton C4: max independent suffix = 2

@@ -135,6 +135,18 @@ class TestPrefixes:
         with pytest.raises(ValueError):
             list(engine.iter_prefixes(3))
 
+    def test_single_loop_plan_cannot_split(self, er_small):
+        # star-2 with iep_k=2 leaves exactly one executed loop: splitting
+        # is meaningless and must raise a clean ValueError (not an
+        # IndexError from the old max(2, n_loops) guard).
+        from repro.pattern.catalog import star
+
+        plan = make_plan(star(2), schedule=(0, 1, 2), restrictions=set(), iep_k=2)
+        assert plan.n_loops == 1
+        engine = Engine(er_small, plan)
+        with pytest.raises(ValueError, match="at least two executed loops"):
+            list(engine.iter_prefixes(1))
+
     def test_iep_prefix_sum(self, er_small):
         plan = make_plan(house(), schedule=(0, 1, 2, 3, 4), iep_k=2)
         engine = Engine(er_small, plan)

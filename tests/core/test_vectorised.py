@@ -167,7 +167,7 @@ class TestCrossBackendEquivalence:
         assert caps.supports_mode("plain")
         assert caps.supports_mode("labeled")
         assert caps.supports_mode("induced")
-        assert not caps.supports_mode("directed")
+        assert caps.supports_mode("directed")
         assert not caps.iep
         assert caps.enumeration
 

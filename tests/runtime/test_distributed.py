@@ -218,17 +218,19 @@ class TestTaskCounter:
         total = counter(list(range(er_small.n_vertices)))
         assert total == bruteforce_induced_count(er_small, house())
 
-    def test_directed_mode_falls_back_to_interpreter(self, er_small):
+    def test_directed_mode_served_by_vectorised(self, er_small):
         from repro.core.directed import DirectedMatcher
         from repro.graph.digraph import random_digraph
         from repro.pattern.directed import transitive_triangle
         from repro.core.backend import MatchContext
 
         dg = random_digraph(20, 0.2, seed=1)
-        plan = DirectedMatcher(transitive_triangle()).plan(dg).plan
+        matcher = DirectedMatcher(transitive_triangle())
+        plan = matcher.plan(dg).plan
         ctx = MatchContext(graph=dg, plan=plan, mode="directed")
-        _, effective = make_task_counter(ctx, "vectorised")
-        assert effective == "interpreter"
+        counter, effective = make_task_counter(ctx, "vectorised")
+        assert effective == "vectorised"
+        assert counter(list(range(dg.n_vertices))) == matcher.count(dg)
 
     def test_partial_sums_compose(self, er_small):
         """Splitting the root set anywhere preserves the total."""
@@ -289,16 +291,13 @@ class TestCapabilityFallbacks:
                 get_backend(name).enumerate_embeddings(ctx)
 
     def test_unsupported_mode_raises_naming_the_backend(self, er_small):
-        # directed is the one mode the compiled backend still refuses
-        # (induced/labeled run on its kernel variants now).
+        # The compiled backend serves directed DirectedPlans now; a
+        # directed context carrying an undirected ExecutionPlan is the
+        # remaining mismatch it must refuse by name.
         from repro.core.backend import MatchContext
-        from repro.core.directed import DirectedMatcher
-        from repro.graph.digraph import random_digraph
-        from repro.pattern.directed import transitive_triangle
 
-        dg = random_digraph(20, 0.2, seed=1)
-        plan = DirectedMatcher(transitive_triangle()).plan(dg).plan
-        directed = MatchContext(graph=dg, plan=plan, mode="directed")
+        plain = plan_ctx(er_small, triangle())
+        directed = MatchContext(graph=er_small, plan=plain.plan, mode="directed")
         with pytest.raises(BackendUnsupportedError, match="compiled"):
             get_backend("compiled").count(directed)
 

@@ -160,6 +160,31 @@ class TestModeFlags:
         assert rc == 2
         assert "unknown directed pattern" in capsys.readouterr().err
 
+    def test_directed_batch_matches_api(self, capsys):
+        rc = main(["count", "--pattern", "ffl,transitive-triangle,dcycle-3",
+                   "--mode", "directed", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch:" in out and "backend=reduction" in out
+
+        from repro.core.directed import count_directed
+        from repro.graph.datasets import load_dataset
+        from repro.graph.digraph import digraph_from_edges
+        from repro.pattern.directed import get_directed_pattern
+
+        g = load_dataset("wiki-vote", scale=0.05, seed=3)
+        dig = digraph_from_edges(list(g.edges()), n_vertices=g.n_vertices)
+        for name in ("ffl", "transitive-triangle", "dcycle-3"):
+            line = next(ln for ln in out.splitlines() if name + " " in ln)
+            shown = int(line.split("count=")[1].split()[0])
+            assert shown == count_directed(dig, get_directed_pattern(name))
+
+    def test_directed_batch_rejects_bad_member(self, capsys):
+        rc = main(["count", "--pattern", "ffl,house", "--mode", "directed",
+                   *self.ARGS])
+        assert rc == 2
+        assert "unknown directed pattern" in capsys.readouterr().err
+
     def test_labeled_rejects_nonpositive_labels(self, capsys):
         rc = main(["count", "--pattern", "triangle", "--mode", "labeled",
                    "--labels", "0", *self.ARGS])

@@ -27,15 +27,22 @@ stays green for special-purpose registrations too.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.api import count_pattern, match_pattern, match_query
 from repro.core.backend import available_backends, get_backend
 from repro.core.query import MatchQuery
 from repro.graph.datasets import load_dataset
+from repro.graph.digraph import (
+    digraph_from_edges,
+    price_citation_graph,
+    random_digraph,
+)
 from repro.graph.generators import erdos_renyi, random_power_law
 from repro.graph.labeled import assign_random_labels
 from repro.pattern.catalog import clique, house, pentagon, rectangle, triangle
+from repro.pattern.directed import get_directed_pattern
 from repro.pattern.labeled import LabeledPattern
 
 # ---------------------------------------------------------------------------
@@ -119,6 +126,64 @@ INDUCED_GOLDEN = {
     "wiki-vote-0.1": {"triangle": 891, "rectangle": 2416, "house": 22990},
 }
 
+def _oriented_powerlaw():
+    """The powerlaw-150 skeleton with a seeded random orientation.
+
+    A low-to-high orientation would be acyclic (dcycle rows all zero);
+    the seeded coin keeps directed cycles in the matrix while staying
+    deterministic across runs and platforms.
+    """
+    ug = random_power_law(150, avg_degree=8.0, exponent=2.2, seed=303)
+    rng = np.random.default_rng(909)
+    arcs = [(u, v) if rng.random() < 0.5 else (v, u) for u, v in ug.edges()]
+    return digraph_from_edges(arcs, n_vertices=ug.n_vertices, name="powerlaw-d-150")
+
+
+#: the directed workload runs on its own graph set: directed semantics
+#: need arc data the undirected trio cannot supply, so the matrix pairs
+#: a directed ER graph, the powerlaw skeleton under a seeded random
+#: orientation, and a Price preferential-citation DAG (its dcycle /
+#: dclique rows are structurally zero — pinned as such on purpose).
+DIRECTED_GRAPH_BUILDERS = {
+    "er-d-40": lambda: random_digraph(40, 0.25, seed=404),
+    "powerlaw-d-150": _oriented_powerlaw,
+    "citation-120": lambda: price_citation_graph(120, out_degree=4, seed=7),
+}
+
+DIRECTED_PATTERN_NAMES = ("ffl", "bifan", "dcycle-3", "dclique-3", "dpath-4")
+
+#: directed golden counts: interpreter-produced and, on er-d-40 (small
+#: enough for the O(n^k) oracle), verified against
+#: :func:`repro.baselines.bruteforce.bruteforce_directed_count`.
+DIRECTED_GOLDEN = {
+    "er-d-40": {
+        "ffl": 1019,
+        "bifan": 2342,
+        "dcycle-3": 352,
+        "dclique-3": 3,
+        "dpath-4": 38674,
+    },
+    "powerlaw-d-150": {
+        "ffl": 346,
+        "bifan": 604,
+        "dcycle-3": 124,
+        "dclique-3": 0,
+        "dpath-4": 25048,
+    },
+    "citation-120": {
+        "ffl": 405,
+        "bifan": 2174,
+        "dcycle-3": 0,
+        "dclique-3": 0,
+        "dpath-4": 2696,
+    },
+}
+
+#: fast paths that must actually *run* on directed plans: the selection
+#: policy falls back to the interpreter silently, so the suite asserts
+#: `MatchResult.backend` to prove no fallback happened.
+DIRECTED_NO_FALLBACK = ("vectorised", "compiled")
+
 #: constructor overrides for backends whose defaults are too heavy for
 #: a conformance matrix (a future backend needs an entry only if its
 #: defaults are unsuitable; absence means "instantiate by name").
@@ -154,6 +219,14 @@ def labeled_conformance_graph(name: str):
         _GRAPH_CACHE[key] = assign_random_labels(
             conformance_graph(name), LABEL_ALPHABET, seed=LABEL_SEED
         )
+    return _GRAPH_CACHE[key]
+
+
+def directed_conformance_graph(name: str):
+    """The directed twin of :func:`conformance_graph` (same sharing)."""
+    key = f"directed:{name}"
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = DIRECTED_GRAPH_BUILDERS[name]()
     return _GRAPH_CACHE[key]
 
 
@@ -199,6 +272,10 @@ class TestGoldenCounts:
             assert set(golden) == set(GRAPH_BUILDERS)
             for gname, per_pattern in golden.items():
                 assert set(per_pattern) == set(builders), gname
+        # the directed matrix runs on its own graph set (arc data).
+        assert set(DIRECTED_GOLDEN) == set(DIRECTED_GRAPH_BUILDERS)
+        for gname, per_pattern in DIRECTED_GOLDEN.items():
+            assert set(per_pattern) == set(DIRECTED_PATTERN_NAMES), gname
 
 
 class TestLabeledGoldenCounts:
@@ -244,6 +321,67 @@ class TestInducedGoldenCounts:
         """Cross-matrix consistency: a clique has no non-edges to forbid."""
         for gname in GRAPH_BUILDERS:
             assert INDUCED_GOLDEN[gname]["triangle"] == GOLDEN[gname]["triangle"]
+
+
+class TestDirectedGoldenCounts:
+    """Directed matching: every directed-capable backend, pinned counts.
+
+    The two fast paths (`vectorised`, `compiled`) additionally prove —
+    via `MatchResult.backend` — that they served the query themselves
+    rather than letting the selection policy fall back silently to the
+    interpreter.
+    """
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("gname", sorted(DIRECTED_GRAPH_BUILDERS))
+    @pytest.mark.parametrize("pname", DIRECTED_PATTERN_NAMES)
+    def test_pinned_directed_count(self, backend, gname, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("directed"):
+            pytest.skip(f"backend {backend!r} does not cover directed matching")
+        graph = directed_conformance_graph(gname)
+        query = MatchQuery(get_directed_pattern(pname))
+        result = match_query(graph, query, backend=backend_spec(backend))
+        assert int(result) == DIRECTED_GOLDEN[gname][pname], (
+            f"backend {backend!r} returned {int(result)} for directed "
+            f"{pname} on {gname}; golden count is {DIRECTED_GOLDEN[gname][pname]}"
+        )
+        if backend in DIRECTED_NO_FALLBACK:
+            assert result.backend == backend, (
+                f"{backend!r} fell back to {result.backend!r} on directed "
+                f"{pname}/{gname} — the fast path must serve this itself"
+            )
+
+    def test_directed_fast_paths_are_registered(self):
+        """The no-fallback list must stay in sync with the registry."""
+        for name in DIRECTED_NO_FALLBACK:
+            caps = available_backends()[name].capabilities
+            assert caps.supports_mode("directed"), name
+
+
+class TestDirectedEnumerationConformance:
+    """Directed enumerating backends must match the interpreter's sets."""
+
+    @pytest.mark.parametrize("backend", ENUMERATING_BACKENDS)
+    @pytest.mark.parametrize("pname", ["ffl", "dcycle-3"])
+    def test_directed_embedding_sets_match_interpreter(self, backend, pname):
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("directed"):
+            pytest.skip(f"backend {backend!r} does not cover directed matching")
+        graph = directed_conformance_graph("er-d-40")
+        query = MatchQuery(get_directed_pattern(pname))
+        from repro.core.session import get_session
+
+        session = get_session(graph)
+        reference = {
+            tuple(e) for e in session.enumerate(query, backend="interpreter")
+        }
+        got = {
+            tuple(e)
+            for e in session.enumerate(query, backend=backend_spec(backend))
+        }
+        assert got == reference
+        assert len(reference) == DIRECTED_GOLDEN["er-d-40"][pname]
 
 
 class TestEnumerationConformance:
