@@ -1,0 +1,191 @@
+"""The observability overhead budget: tracing off vs sampled-off vs on.
+
+The tentpole claim of the tracing layer (`repro.obs.trace`): a disabled
+span site costs one module-global branch, so leaving the
+instrumentation compiled into every hot loop is free, and even full
+tracing — every span created, timed and attached into the collected
+tree — stays within a bounded fraction of the run.  This bench measures
+the Fig. 8 pattern suite through `MatchSession.count` (the fully
+instrumented path: plan cache, execute wrapper, per-depth backend
+spans) on each instrumented single-process backend in three
+configurations:
+
+- **off** — `obs.disable()`, the default;
+- **sampled-off** — `obs.enable(every=10**9)`: tracing enabled but the
+  sampler rejects every trace, so each site pays its guard branch and
+  nothing else;
+- **on** — `obs.enable()`: every call collects a full span tree.
+
+Outputs: an aligned table, a TSV under ``benchmarks/results/`` and a
+machine-readable ``BENCH_obs.json`` in the repo root with per-cell
+timings, the two geomean overhead ratios, and the enforced ceilings
+(sampled-off <= 3 %, on <= 25 %).  Counts are asserted identical in
+every configuration — observability must never change an answer.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI bench-smoke job) shrinks
+the proxy graph and trims the suite to the first three patterns; the
+ceilings and the count assertion hold in every mode.
+"""
+
+from __future__ import annotations
+
+from repro import MatchQuery, MatchSession, obs
+from repro.pattern.catalog import paper_patterns
+from repro.utils.tables import Table, format_seconds
+
+from _common import QUICK, bench_graph, emit, emit_json, geomean, time_call
+
+DATASET = "wiki-vote"
+
+#: the instrumented single-process backends (the parallel/distributed
+#: masters reuse the same span substrate; their per-run cost is
+#: dominated by task execution, not instrumentation).
+BACKENDS = ["interpreter", "compiled", "vectorised"]
+
+#: quick mode keeps the smoke job in seconds; the full run covers P1-P6.
+PATTERN_LIMIT = 3 if QUICK else 6
+
+#: min-of-N timing per (cell, configuration), interleaved so drift hits
+#: every configuration equally.
+REPEATS = 3 if QUICK else 5
+
+#: the enforced ceilings (geomean of per-cell ratios vs tracing off).
+SAMPLED_OFF_CEILING = 1.03
+ON_CEILING = 1.25
+
+#: sampler period that admits no trace — "enabled but sampled out".
+NEVER = 10**9
+
+CONFIGS = ["off", "sampled_off", "on"]
+
+
+def _configure(config: str) -> None:
+    if config == "off":
+        obs.disable()
+    elif config == "sampled_off":
+        obs.enable(every=NEVER)
+    else:
+        obs.enable()
+
+
+def run_obs_bench() -> dict:
+    graph = bench_graph(DATASET)
+    patterns = dict(list(paper_patterns().items())[:PATTERN_LIMIT])
+    records: dict[str, dict] = {}
+
+    try:
+        for bname in BACKENDS:
+            session = MatchSession(graph)
+            for pname, pattern in patterns.items():
+                query = MatchQuery(pattern, backend=bname)
+                # Warm-up with tracing off: plan cached, kernel compiled,
+                # so the timed calls measure pure execution + tracing.
+                obs.disable()
+                warm = session.count(query)
+                best = dict.fromkeys(CONFIGS, float("inf"))
+                counts: dict[str, int] = {}
+                for _ in range(REPEATS):
+                    for config in CONFIGS:
+                        _configure(config)
+                        seconds, result = time_call(session.count, query)
+                        best[config] = min(best[config], seconds)
+                        counts[config] = int(result)
+                        if config == "on":
+                            assert result.trace is not None, (bname, pname)
+                obs.disable()
+                # the acceptance invariant: observability never changes
+                # an answer, in any configuration.
+                assert counts["off"] == counts["sampled_off"] == counts["on"]
+                assert counts["off"] == int(warm), (bname, pname)
+                records[f"{bname}/{pname}"] = {
+                    "backend": bname,
+                    "pattern": pname,
+                    "count": counts["off"],
+                    "off_seconds": best["off"],
+                    "sampled_off_seconds": best["sampled_off"],
+                    "on_seconds": best["on"],
+                    "sampled_off_ratio": best["sampled_off"] / best["off"],
+                    "on_ratio": best["on"] / best["off"],
+                }
+    finally:
+        obs.disable()
+
+    return {
+        "graph": repr(graph),
+        "dataset": DATASET,
+        "quick": QUICK,
+        "repeats": REPEATS,
+        "runs": records,
+        "sampled_off_geomean": geomean(
+            [r["sampled_off_ratio"] for r in records.values()]
+        ),
+        "on_geomean": geomean([r["on_ratio"] for r in records.values()]),
+        "sampled_off_ceiling": SAMPLED_OFF_CEILING,
+        "on_ceiling": ON_CEILING,
+    }
+
+
+def _render(results: dict, capsys=None) -> dict:
+    suffix = ", quick" if QUICK else ""
+    table = Table(
+        [
+            "backend/pattern",
+            "count",
+            "off (s)",
+            "sampled-off (s)",
+            "on (s)",
+            "sampled-off x",
+            "on x",
+        ],
+        title=f"observability overhead on {DATASET} proxy (Fig. 8 suite{suffix})",
+    )
+    for cell, rec in results["runs"].items():
+        table.add_row(
+            [
+                cell,
+                rec["count"],
+                format_seconds(rec["off_seconds"]),
+                format_seconds(rec["sampled_off_seconds"]),
+                format_seconds(rec["on_seconds"]),
+                f"{rec['sampled_off_ratio']:.3f}",
+                f"{rec['on_ratio']:.3f}",
+            ]
+        )
+    table.add_row(
+        [
+            "geomean",
+            "",
+            "",
+            "",
+            "",
+            f"{results['sampled_off_geomean']:.3f}",
+            f"{results['on_geomean']:.3f}",
+        ]
+    )
+    emit(table, capsys, "bench_obs.tsv")
+    emit_json("BENCH_obs.json", results)
+    return results
+
+
+def _assert_floors(results: dict) -> None:
+    sampled = results["sampled_off_geomean"]
+    on = results["on_geomean"]
+    assert sampled <= SAMPLED_OFF_CEILING, (
+        f"sampled-off geomean overhead {sampled:.3f} exceeds the "
+        f"{SAMPLED_OFF_CEILING} ceiling — the one-branch claim is broken"
+    )
+    assert on <= ON_CEILING, (
+        f"full-tracing geomean overhead {on:.3f} exceeds the {ON_CEILING} ceiling"
+    )
+
+
+def test_obs_overhead(benchmark, capsys):
+    from _common import once
+
+    results = once(benchmark, run_obs_bench)
+    _render(results, capsys)
+    _assert_floors(results)
+
+
+if __name__ == "__main__":
+    _assert_floors(_render(run_obs_bench()))

@@ -61,6 +61,7 @@ from repro.serving import (
     ServiceOverloaded,
 )
 from repro.streaming import StreamReport, StreamSession, WatchHandle
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -119,5 +120,6 @@ __all__ = [
     "StreamReport",
     "StreamSession",
     "WatchHandle",
+    "obs",
     "__version__",
 ]

@@ -28,8 +28,15 @@ serve    drive the matching-as-a-service runtime: replay a mixed
          latency p50/p99, memo/backpressure stats, and a verification
          of every count against a direct MatchSession call
 backends list the registered execution backends
+metrics  dump the process-global metrics registry in Prometheus text
+         format (--exercise runs a small count first so values are live)
 datasets list the built-in dataset proxies
 patterns list the built-in patterns
+
+``count --explain`` traces the query and prints the span tree (plan,
+compile and execute phases, with per-depth detail on backends whose
+``traced`` capability is set); ``count --trace-out FILE`` writes the
+same trace as Chrome ``trace_event`` JSON for Perfetto.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.core.query import MatchQuery
 from repro.core.session import get_session
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.stats import GraphStats
+from repro.obs import trace as obs_trace
 from repro.pattern.catalog import NAMED_PATTERNS, get_pattern, paper_patterns
 from repro.runtime.distributed import INNER_BACKENDS
 from repro.utils.tables import Table, format_seconds
@@ -214,6 +222,11 @@ def cmd_count(args) -> int:
             print("error: --approx only supports --mode plain with edge "
                   "semantics", file=sys.stderr)
             return 2
+        if args.explain or args.trace_out:
+            print("error: --explain/--trace-out profile the exact matching "
+                  "pipeline; the --approx estimator is not traced",
+                  file=sys.stderr)
+            return 2
         if args.backend is not None:
             print("error: --approx is a sampling estimator and does not "
                   "execute through a backend; drop --approx or "
@@ -234,6 +247,11 @@ def cmd_count(args) -> int:
         return 0
 
     if args.mode == "directed" and "," in args.pattern:
+        if args.explain or args.trace_out:
+            print("error: --explain/--trace-out trace one count at a time; "
+                  "drop them or count a single directed pattern",
+                  file=sys.stderr)
+            return 2
         return _cmd_count_directed_batch(args, graph, resolved_backend)
 
     try:
@@ -262,9 +280,17 @@ def cmd_count(args) -> int:
         backend=resolved_backend,
     )
     session = get_session(data)
-    t0 = time.perf_counter()
-    result = session.count(query)
-    elapsed = time.perf_counter() - t0
+    want_trace = args.explain or args.trace_out
+    was_enabled = obs_trace.enabled()
+    if want_trace:
+        obs_trace.enable()
+    try:
+        t0 = time.perf_counter()
+        result = session.count(query)
+        elapsed = time.perf_counter() - t0
+    finally:
+        if want_trace and not was_enabled:
+            obs_trace.disable()
     print(f"config:  {result.provenance}")
     print(f"backend: {result.backend}")
     plan = session.plan_for(query).plan
@@ -278,6 +304,16 @@ def cmd_count(args) -> int:
         print(f"autotune: {result.autotune_report.describe()}")
     if result.distributed_report is not None:
         _print_distributed_report(result.distributed_report)
+    if want_trace and result.trace is None:
+        print("trace:   empty (no spans collected)", file=sys.stderr)
+    if args.explain and result.trace is not None:
+        print("\nwhere the time went:")
+        print(result.trace.render())
+    if args.trace_out and result.trace is not None:
+        with open(args.trace_out, "w") as fh:
+            fh.write(result.trace.to_chrome_json())
+        print(f"\ntrace:   wrote Chrome trace_event JSON to {args.trace_out} "
+              "(load in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -560,7 +596,8 @@ def cmd_serve(args) -> int:
 
 
 def cmd_backends(args) -> int:
-    table = Table(["name", "modes", "iep", "enumerates", "kernels", "description"],
+    table = Table(["name", "modes", "iep", "enumerates", "kernels", "traced",
+                   "description"],
                   title="registered execution backends")
     for name, info in available_backends().items():
         caps = info.capabilities
@@ -570,6 +607,7 @@ def cmd_backends(args) -> int:
             "yes" if caps.iep else "no",
             "yes" if caps.enumeration else "no",
             "yes" if caps.generated_kernels else "no",
+            "yes" if caps.traced else "no",
             info.summary(),
         ])
     print(table.render())
@@ -601,6 +639,23 @@ def cmd_backends(args) -> int:
                 runner_up,
             ])
         print(ptable.render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Dump the process-global metrics registry (Prometheus text format)."""
+    from repro.obs import REGISTRY
+
+    if args.exercise:
+        # A small end-to-end count so the exposition shows live values —
+        # without it a fresh process prints an all-zero registry.
+        from repro.graph.generators import erdos_renyi
+
+        session = get_session(erdos_renyi(120, 0.1, seed=args.seed))
+        for name in ("triangle", "house"):
+            session.count(get_pattern(name), backend="vectorised")
+            session.count(get_pattern(name))
+    print(REGISTRY.render_prometheus(), end="")
     return 0
 
 
@@ -655,6 +710,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="alias for --semantics induced")
     p_count.add_argument("--approx", type=int, default=0, metavar="N",
                          help="ASAP-style sampling estimate with N trials")
+    p_count.add_argument("--explain", action="store_true",
+                         help="trace the count and print the span tree "
+                              "(plan/compile/execute phases with per-depth "
+                              "detail on traced backends)")
+    p_count.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the trace as Chrome trace_event JSON "
+                              "(open in Perfetto or chrome://tracing)")
     _add_backend_arg(p_count)
     _add_graph_args(p_count)
     p_count.set_defaults(func=cmd_count)
@@ -728,6 +790,17 @@ def build_parser() -> argparse.ArgumentParser:
              "output): per-bucket winners backend='auto' would pick",
     )
     p_backends.set_defaults(func=cmd_backends)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="dump the metrics registry (Prometheus text exposition)",
+    )
+    p_metrics.add_argument("--exercise", action="store_true",
+                           help="run a small count first so the registry "
+                                "shows live values")
+    p_metrics.add_argument("--seed", type=int, default=2020)
+    p_metrics.set_defaults(func=cmd_metrics)
+
     sub.add_parser("datasets", help="list dataset proxies").set_defaults(
         func=cmd_datasets
     )

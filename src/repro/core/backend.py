@@ -52,6 +52,7 @@ from repro.core.config import Configuration, ExecutionPlan
 from repro.core.directed import DirectedPlan
 from repro.core.engine import Engine
 from repro.core.engine_variants import PreSliceEngine
+from repro.obs.trace import span
 
 #: matching semantics a context can carry; backends opt into each.
 MODES = ("plain", "induced", "labeled", "directed")
@@ -163,6 +164,13 @@ class BackendCapabilities:
     enumeration: bool = False
     #: consumes pre-generated kernels (``MatchContext.generated``).
     generated_kernels: bool = False
+    #: emits fine-grained spans (per-depth / per-task) under the
+    #: session's ``execute`` span when tracing is enabled — conformance
+    #: asserts traced backends actually attach them.  Backends whose
+    #: hot path is per-embedding recursion (interpreter), generated
+    #: code (compiled) or a fork pool (parallel, worker side) stay
+    #: ``False``: they surface only the coarse ``execute`` span.
+    traced: bool = False
 
     def supports_mode(self, mode: str) -> bool:
         return mode in self.modes
@@ -367,7 +375,8 @@ class InterpreterBackend(ExecutionBackend):
 
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)
-        return make_engine(ctx).count()
+        with span("interpret", mode=ctx.mode):
+            return make_engine(ctx).count()
 
     def enumerate_embeddings(self, ctx, limit=None):
         self._require(ctx)
@@ -389,7 +398,8 @@ class PreSliceBackend(ExecutionBackend):
 
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)
-        return PreSliceEngine(ctx.graph, ctx.plan).count()
+        with span("preslice"):
+            return PreSliceEngine(ctx.graph, ctx.plan).count()
 
     def enumerate_embeddings(self, ctx, limit=None):
         self._require(ctx)
@@ -445,13 +455,15 @@ class CompiledBackend(ExecutionBackend):
     def count(self, ctx: MatchContext) -> int:
         self._require(ctx)
         generated = ctx.generated
-        if (
+        regenerated = (
             generated is None
             or generated.plan is not ctx.plan
             or generated.mode != ctx.mode
-        ):
+        )
+        if regenerated:
             generated = compile_for_context(ctx)
-        return generated(ctx.graph)
+        with span("kernel", mode=ctx.mode, regenerated=regenerated):
+            return generated(ctx.graph)
 
 
 @register_backend

@@ -276,6 +276,10 @@ class MatchResult:
     #: the chosen delegate, decision source and predicted-vs-actual
     #: seconds; ``backend`` then reads ``"auto:<delegate>"``).
     autotune_report: Any = None
+    #: the span tree for this execution (a :class:`~repro.obs.trace.Trace`),
+    #: populated only when tracing is enabled and the sampler admitted
+    #: this call (``repro.obs.enable()`` / ``repro count --explain``).
+    trace: Any = None
 
     @property
     def seconds_total(self) -> float:

@@ -73,6 +73,8 @@ from repro.graph.csr import Graph
 from repro.graph.digraph import DiGraph
 from repro.graph.labeled import LabeledGraph
 from repro.graph.stats import GraphStats
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import collect, span
 from repro.pattern.pattern import Pattern
 from repro.utils.timing import Timer
 
@@ -138,24 +140,27 @@ def plan_plain(
     here.  ``use_iep`` asks the model to score configurations with the
     innermost independent loops replaced by IEP.
     """
-    with Timer() as t_res:
+    with Timer() as t_res, span("restrictions") as sp:
         if restriction_sets is None:
             restriction_sets = generate_restriction_sets(
                 pattern, max_sets=max_restriction_sets
             )
-    with Timer() as t_sched:
+        sp.set(n_sets=len(restriction_sets))
+    with Timer() as t_sched, span("schedules") as sp:
         if schedules is None:
             schedules = generate_schedules(
                 pattern, dedup_automorphic=dedup_schedules
             )
-    with Timer() as t_model:
+        sp.set(n_schedules=len(schedules))
+    with Timer() as t_model, span("model") as sp:
         configs = enumerate_configurations(pattern, schedules, restriction_sets)
         model = PerformanceModel(stats)
         iep_k = independent_suffix_size(pattern) if use_iep else 0
         ranking = model.rank(configs, iep_k=iep_k)
+        sp.set(n_configs=len(configs), iep_k=iep_k)
     chosen = ranking[0]
     generated = None
-    with Timer() as t_gen:
+    with Timer() as t_gen, span("codegen", enabled=codegen):
         if codegen:
             generated = compile_plan_function(chosen.plan)
     return PlanReport(
@@ -424,12 +429,14 @@ class MatchSession:
             entry = self._cache.get(key)
             if entry is not None:
                 self._hits += 1
+                obs_metrics.PLAN_CACHE_HITS.inc()
                 self._cache.move_to_end(key)
                 return entry, True
             with Timer() as t:
                 entry = self._plan(query, key)
             entry = dataclasses.replace(entry, seconds_plan=t.elapsed)
             self._misses += 1
+            obs_metrics.PLAN_CACHE_MISSES.inc()
             self._cache[key] = entry
             while len(self._cache) > self.max_plans:
                 self._cache.popitem(last=False)
@@ -596,7 +603,9 @@ class MatchSession:
             and ctx.generated is None
             and chosen.supports(ctx)
         ):
-            generated = compile_for_context(ctx)
+            with span("compile", mode=ctx.mode):
+                generated = compile_for_context(ctx)
+            obs_metrics.KERNELS_COMPILED.inc()
             updated = dataclasses.replace(entry, generated=generated)
             with self._lock:
                 if entry.key in self._cache:
@@ -617,21 +626,31 @@ class MatchSession:
         """
         query = self._effective_query(as_query(query), backend)
         query = self._apply_autotune(query)
-        graph = self._execution_graph(query)
-        entry, was_hit = self._lookup_or_plan(query)
-        ctx = entry.context(graph)
-        chosen = self._select(ctx, query, backend)
-        ctx = self._ensure_kernel(entry, chosen, ctx)
-        # Backends with a structured side-channel (the distributed
-        # backend's scaling profile, the auto backend's selection
-        # report) expose count_with_report; the tuple protocol keeps
-        # plain count() implementations untouched.
-        runner = getattr(chosen, "count_with_report", None)
-        with Timer() as t_exec:
-            if runner is not None:
-                n, side_report = runner(ctx)
-            else:
-                n, side_report = chosen.count(ctx), None
+        with collect(
+            "match", mode=query.mode, semantics=query.semantics
+        ) as trace:
+            graph = self._execution_graph(query)
+            with span("plan") as sp:
+                entry, was_hit = self._lookup_or_plan(query)
+                sp.set(cache_hit=was_hit, provenance=entry.provenance)
+            ctx = entry.context(graph)
+            chosen = self._select(ctx, query, backend)
+            ctx = self._ensure_kernel(entry, chosen, ctx)
+            # Backends with a structured side-channel (the distributed
+            # backend's scaling profile, the auto backend's selection
+            # report) expose count_with_report; the tuple protocol keeps
+            # plain count() implementations untouched.
+            runner = getattr(chosen, "count_with_report", None)
+            with span("execute", backend=chosen.name) as sx:
+                with Timer() as t_exec:
+                    if runner is not None:
+                        n, side_report = runner(ctx)
+                    else:
+                        n, side_report = chosen.count(ctx), None
+                sx.set(count=n)
+        if trace is not None:
+            obs_metrics.TRACES_COLLECTED.inc()
+        obs_metrics.BACKEND_COUNTS.labels(backend=chosen.name).inc()
         backend_name = chosen.name
         autotune_report = None
         if side_report is not None:
@@ -657,6 +676,7 @@ class MatchSession:
             fingerprint=entry.key[0],
             distributed_report=side_report,
             autotune_report=autotune_report,
+            trace=trace,
         )
 
     def enumerate(

@@ -109,6 +109,8 @@ from repro.graph.intersection import (
 )
 from repro.graph.labeled import LabeledGraph
 from repro.graph.stats import degree_statistics
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 #: default number of root vertices processed per frontier sweep.
 DEFAULT_ROOT_CHUNK = 32768
@@ -574,7 +576,15 @@ class FrontierEngine:
         deps = plan.deps[depth]
         src, starts, counts = self._prepare(front, depth, prev)
         owner, cand = gather_ranges(src.values, starts, counts)
+        obs_metrics.FRONTIER_ROWS.inc(len(cand))
+        obs_metrics.FRONTIER_SOURCES.labels(
+            source="pool" if src.materialised else "csr"
+        ).inc()
         mask = np.ones(len(cand), dtype=bool)
+        if src.post_deps:
+            obs_metrics.FRONTIER_INTERSECTIONS.labels(kernel="membership").inc(
+                len(src.post_deps)
+            )
         for j in src.post_deps:
             mask &= bulk_contains_sorted(self._edge_keys, front[owner, j] * n + cand)
         if self._induced:
@@ -624,6 +634,7 @@ class FrontierEngine:
         """Innermost count off a pool covering every dependency: the
         windowed counts come straight from the keyed binary search —
         no gather at all — minus the already-used corrections."""
+        obs_metrics.FRONTIER_INTERSECTIONS.labels(kernel="pooled").inc()
         plan = self.plan
         lo, hi = self._bounds(front, depth)
         _, counts = self._window_ranges(src, lo, hi)
@@ -648,6 +659,7 @@ class FrontierEngine:
         column produces long such runs) share one candidate-set
         evaluation — count once, multiply by the run length, then
         subtract the per-row already-used corrections."""
+        obs_metrics.FRONTIER_INTERSECTIONS.labels(kernel="direct").inc()
         plan = self.plan
         deps = plan.deps[depth]
         n = self._n
@@ -750,9 +762,18 @@ class FrontierEngine:
             prev: _CandidateSource | None = None
             for depth in range(1, plan.n):
                 if depth == plan.n - 1:
-                    total += self._count_last(front, depth, prev)
+                    with span("depth", depth=depth, last=True) as sp:
+                        c = self._count_last(front, depth, prev)
+                        sp.set(rows=len(front), count=c)
+                    total += c
                     break
-                owner, cand, src = self._extend(front, depth, prev)
+                with span("depth", depth=depth) as sp:
+                    owner, cand, src = self._extend(front, depth, prev)
+                    sp.set(
+                        rows=len(front),
+                        kept=len(cand),
+                        source="pool" if src.materialised else "csr",
+                    )
                 if len(cand) == 0:
                     break
                 front = np.concatenate([front[owner], cand[:, None]], axis=1)
@@ -976,6 +997,11 @@ class DirectedFrontierEngine:
                 best = (total, i, starts, counts)
         _, pivot_i, starts, counts = best
         owner, cand = gather_ranges(refs[pivot_i].indices, starts, counts)
+        obs_metrics.FRONTIER_ROWS.inc(len(cand))
+        if len(refs) > 1:
+            obs_metrics.FRONTIER_INTERSECTIONS.labels(kernel="directed").inc(
+                len(refs) - 1
+            )
         mask = np.ones(len(cand), dtype=bool)
         for i, ref in enumerate(refs):
             if i == pivot_i:
@@ -1014,7 +1040,9 @@ class DirectedFrontierEngine:
         for start in range(0, len(roots), self.root_chunk):
             front = roots[start : start + self.root_chunk, None]
             for depth in range(1, plan.n):
-                owner, cand = self._extend(front, depth)
+                with span("depth", depth=depth) as sp:
+                    owner, cand = self._extend(front, depth)
+                    sp.set(rows=len(front), kept=len(cand))
                 if depth == plan.n - 1:
                     total += len(cand)
                     break
@@ -1109,6 +1137,7 @@ class VectorisedBackend(ExecutionBackend):
         modes=frozenset(_FRONTIER_MODES | {"directed"}),
         iep=False,
         enumeration=True,
+        traced=True,
     )
 
     def __init__(

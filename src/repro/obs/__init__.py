@@ -1,0 +1,46 @@
+"""Observability: zero-dependency tracing and metrics for every layer.
+
+Two substrates, both stdlib-only so any module in the repository can
+instrument itself without import cycles or optional dependencies:
+
+* :mod:`repro.obs.trace` — hierarchical spans with monotonic timings,
+  collected per thread into an exportable :class:`~repro.obs.trace.Trace`
+  tree.  Disabled (the default) a span costs one branch; enabled, the
+  session layer attaches the tree to ``MatchResult.trace`` and the CLI
+  renders it (``repro count --explain``) or exports Chrome
+  ``trace_event`` JSON (``--trace-out``) loadable in Perfetto.
+* :mod:`repro.obs.metrics` — a process-global registry of named
+  counters, gauges and histograms (plan-cache and memo hit rates,
+  frontier rows, intersection kernels, queue depth, job latency) with
+  snapshot/delta/reset and Prometheus-style text exposition
+  (``repro metrics``, ``MatchService.export_metrics()``).
+
+See ``docs/observability.md`` for the span taxonomy and metric catalog.
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Trace,
+    annotate,
+    collect,
+    disable,
+    enable,
+    enabled,
+    record_span,
+    span,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "annotate",
+    "collect",
+    "disable",
+    "enable",
+    "enabled",
+    "record_span",
+    "span",
+]

@@ -1,0 +1,441 @@
+"""Hierarchical tracing: spans, per-thread collection, Chrome export.
+
+The design constraint is the hot path *without* tracing: every
+instrumented site calls :func:`span`, and when tracing is disabled that
+call is one module-global branch returning a shared no-op — no object
+allocation, no clock read, no lock.  GraphPi's claim that schedule and
+restriction choice dominate performance is only checkable if measuring
+a query does not itself distort it.
+
+Enabled, spans form a tree per thread: :func:`span` pushes onto a
+thread-local stack on entry and, on exit, attaches itself to the new
+stack top (its parent).  A root with no parent is delivered to the
+:class:`Trace` being collected on that thread (:func:`collect`), or
+discarded when nothing collects — a worker thread tracing into the void
+costs allocations but never leaks.
+
+Cross-thread trees: a thread can adopt a foreign span as its local root
+with :func:`under` (the service's worker loop does not need it — each
+job runs wholly inside one worker thread — but fan-out executors can
+nest their workers' spans under the coordinator's).  Completed
+intervals known only by their endpoints (queue wait, for example) are
+recorded with :func:`record_span`.
+
+Sampling: :func:`enable` takes ``every=N`` — a deterministic 1-in-N
+root sampler (no randomness, so traces are reproducible), applied at
+:func:`collect` time.  An unsampled collection behaves exactly like
+disabled tracing for its dynamic extent minus the enabled branch.
+
+Export: :meth:`Trace.render` prints the tree with total/self times (the
+``repro count --explain`` surface); :meth:`Trace.to_chrome` emits the
+Chrome ``trace_event`` JSON object Perfetto and ``chrome://tracing``
+load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "annotate",
+    "collect",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "record_span",
+    "span",
+    "under",
+]
+
+_local = threading.local()
+
+#: module-global switch — the one branch disabled tracing costs.
+_enabled = False
+
+
+def _stack() -> list:
+    try:
+        return _local.stack
+    except AttributeError:
+        stack = _local.stack = []
+        return stack
+
+
+class Span:
+    """One timed, attributed node in a trace tree (a context manager).
+
+    Mutate attributes inside the block with :meth:`set` (assign) and
+    :meth:`add` (accumulate) — both also exist on the disabled no-op,
+    so instrumented code never branches on tracing itself.
+    """
+
+    __slots__ = ("name", "attrs", "children", "t0", "t1", "tid", "_sink")
+
+    def __init__(self, name: str, attrs: dict | None = None, sink: "Trace | None" = None):
+        self.name = name
+        self.attrs = attrs if attrs is not None else {}
+        self.children: list[Span] = []
+        self.t0 = 0.0
+        self.t1 = 0.0
+        self.tid = 0
+        self._sink = sink
+
+    # -- the context-manager protocol ----------------------------------
+    def __enter__(self) -> "Span":
+        self.tid = threading.get_ident()
+        _stack().append(self)
+        self.t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t1 = perf_counter()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if stack:
+            # list.append is atomic under the GIL, so adopted parents
+            # (see ``under``) collect children from several threads
+            # without a lock.
+            stack[-1].children.append(self)
+        if self._sink is not None:
+            self._sink._deliver(self)
+        return False
+
+    # -- attributes ----------------------------------------------------
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, key: str, n: "int | float" = 1) -> "Span":
+        self.attrs[key] = self.attrs.get(key, 0) + n
+        return self
+
+    # -- derived views -------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        """Total wall time of the span (0.0 while still open)."""
+        return max(self.t1 - self.t0, 0.0)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not covered by child spans (clamped at zero)."""
+        return max(self.seconds - sum(c.seconds for c in self.children), 0.0)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "list[Span]":
+        """Every descendant (including self) named ``name``."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, {self.seconds * 1e3:.2f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NoopSpan:
+    """The shared disabled span: every method is a no-op returning self."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def add(self, key: str, n: "int | float" = 1) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs) -> "Span | _NoopSpan":
+    """Open a span under the current thread's innermost span.
+
+    The instrumentation entry point::
+
+        with span("execute", backend=name) as sp:
+            ...
+            sp.set(rows=len(front))
+
+    Disabled tracing returns the shared no-op after one branch.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def record_span(
+    name: str, t0: float, t1: float, **attrs
+) -> "Span | _NoopSpan":
+    """Attach an already-completed interval as a child of the current span.
+
+    For durations known only by their ``perf_counter`` endpoints — a
+    job's queue wait, a deadline scheduler's idle gap — where no code
+    block exists to wrap.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    sp = Span(name, attrs)
+    sp.t0, sp.t1 = t0, t1
+    sp.tid = threading.get_ident()
+    stack = _stack()
+    if stack:
+        stack[-1].children.append(sp)
+    return sp
+
+
+def current() -> "Span | None":
+    """The innermost open span on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def annotate(**attrs) -> None:
+    """Merge attributes into the innermost open span (no-op when disabled).
+
+    Lets deep helpers enrich the span their caller opened without
+    threading span objects through every signature.
+    """
+    if not _enabled:
+        return
+    stack = _stack()
+    if stack:
+        stack[-1].attrs.update(attrs)
+
+
+@contextmanager
+def under(parent: "Span"):
+    """Adopt ``parent`` as this thread's local root for the block.
+
+    New spans opened inside nest under ``parent`` even though it was
+    created on another thread (appends are GIL-atomic).  The adopted
+    span must outlive the block.
+    """
+    stack = _stack()
+    stack.append(parent)
+    try:
+        yield parent
+    finally:
+        if stack and stack[-1] is parent:
+            stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# the sampler and the global switch
+# ---------------------------------------------------------------------------
+class _Sampler:
+    """Deterministic 1-in-N sampling of trace collections."""
+
+    __slots__ = ("every", "_tick", "_lock")
+
+    def __init__(self, every: int = 1):
+        self.every = max(int(every), 1)
+        self._tick = 0
+        self._lock = threading.Lock()
+
+    def decide(self) -> bool:
+        if self.every <= 1:
+            return True
+        with self._lock:
+            self._tick += 1
+            # admit the Nth collection, not the first: a huge period
+            # behaves like disabled tracing from the first call (the
+            # overhead benchmark's "sampled-off" configuration).
+            if self._tick >= self.every:
+                self._tick = 0
+                return True
+            return False
+
+
+_sampler = _Sampler()
+
+
+def enable(*, every: int = 1) -> None:
+    """Turn tracing on, collecting one trace in ``every`` (default all)."""
+    global _enabled, _sampler
+    _sampler = _Sampler(every)
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off (instrumented sites fall back to the one-branch no-op)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+# ---------------------------------------------------------------------------
+# collection and export
+# ---------------------------------------------------------------------------
+class Trace:
+    """One collected span tree, ready to inspect, render or export."""
+
+    __slots__ = ("name", "root")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.root: Span | None = None
+
+    def _deliver(self, root: Span) -> None:
+        self.root = root
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        return self.root.seconds if self.root is not None else 0.0
+
+    def spans(self) -> Iterator[Span]:
+        if self.root is not None:
+            yield from self.root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans() if s.name == name]
+
+    def depth(self) -> int:
+        """Nesting levels in the tree (0 for an empty trace)."""
+
+        def _depth(sp: Span) -> int:
+            return 1 + max((_depth(c) for c in sp.children), default=0)
+
+        return _depth(self.root) if self.root is not None else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "root": self.root.to_dict() if self.root is not None else None,
+        }
+
+    # -- export --------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Complete events (``"ph": "X"``) with microsecond timestamps
+        relative to the root's start; span attributes ride in ``args``.
+        """
+        events: list[dict] = []
+        if self.root is None:
+            return {"traceEvents": events, "displayTimeUnit": "ms"}
+        base = self.root.t0
+        pid = os.getpid()
+        tid_alias: dict[int, int] = {}
+        for sp in self.root.walk():
+            tid = tid_alias.setdefault(sp.tid, len(tid_alias))
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (sp.t0 - base) * 1e6,
+                    "dur": sp.seconds * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {k: _jsonable(v) for k, v in sp.attrs.items()},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self) -> str:
+        return json.dumps(self.to_chrome())
+
+    def render(self, *, min_seconds: float = 0.0) -> str:
+        """The span tree as text: one line per span, total and self times.
+
+        ``min_seconds`` hides spans cheaper than the threshold (their
+        time still shows up in the parent's total) — per-depth spans on
+        a large sweep can number in the hundreds.
+        """
+        if self.root is None:
+            return f"trace {self.name!r}: empty"
+        lines: list[str] = []
+
+        def visit(sp: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            if is_root:
+                lead, child_prefix = "", ""
+            else:
+                lead = prefix + ("└─ " if is_last else "├─ ")
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            attrs = " ".join(
+                f"{k}={_short(v)}" for k, v in sp.attrs.items()
+            )
+            label = sp.name + (f" [{attrs}]" if attrs else "")
+            lines.append(
+                f"{lead}{label}  total {sp.seconds * 1e3:.2f}ms "
+                f"self {sp.self_seconds * 1e3:.2f}ms"
+            )
+            kept = [c for c in sp.children if c.seconds >= min_seconds]
+            hidden = len(sp.children) - len(kept)
+            for i, child in enumerate(kept):
+                visit(child, child_prefix, i == len(kept) - 1 and hidden == 0, False)
+            if hidden:
+                lines.append(
+                    f"{child_prefix}└─ ... {hidden} spans under "
+                    f"{min_seconds * 1e3:.2f}ms hidden"
+                )
+
+        visit(self.root, "", True, True)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = sum(1 for _ in self.spans())
+        return f"Trace({self.name!r}, {n} spans, {self.seconds * 1e3:.2f}ms)"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _short(value: Any) -> str:
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+@contextmanager
+def collect(name: str, **attrs):
+    """Collect a :class:`Trace` over the block (``None`` when disabled).
+
+    The root span opened here also nests under any span already open on
+    this thread, so an outer collection (a service job trace) sees the
+    inner one (a session count trace) as a subtree while both still get
+    their own :class:`Trace` objects.
+    """
+    if not _enabled or not _sampler.decide():
+        yield None
+        return
+    trace = Trace(name)
+    root = Span(name, attrs, sink=trace)
+    with root:
+        yield trace

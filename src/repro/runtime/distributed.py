@@ -53,6 +53,8 @@ from repro.core.backend import (
     make_prefix_counter,
     register_backend,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.runtime.cluster import SimulationResult, scaling_curve
 from repro.runtime.worksteal import StealPolicy, initial_distribution
 
@@ -227,10 +229,14 @@ def distributed_count_ctx(
     raw = 0
     task_seconds: list[float] = []
     t_start = time.perf_counter()
-    for task_roots in task_lists:
+    for i, task_roots in enumerate(task_lists):
         t0 = time.perf_counter()
-        raw += counter(task_roots)
+        with span("task", task=i, roots=len(task_roots)) as sp:
+            c = counter(task_roots)
+            sp.set(raw=c)
+        raw += c
         task_seconds.append(time.perf_counter() - t0)
+        obs_metrics.DISTRIBUTED_TASKS.inc()
     seconds_execute = time.perf_counter() - t_start
     count = engine.finalize_count(raw)
 
@@ -290,7 +296,9 @@ class DistributedBackend(ExecutionBackend):
 
     name = "distributed"
     supports_enumeration = False
-    capabilities = BackendCapabilities(modes=frozenset(MODES), iep=False)
+    capabilities = BackendCapabilities(
+        modes=frozenset(MODES), iep=False, traced=True
+    )
 
     def __init__(
         self,

@@ -29,6 +29,8 @@ from dataclasses import dataclass, replace
 from repro.core.backend import MatchContext, make_engine, make_prefix_counter, plain_context
 from repro.core.config import Configuration, ExecutionPlan
 from repro.graph.csr import Graph
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.runtime.tasks import Task, choose_split_depth, generate_tasks
 
 # Worker-global prefix counter, installed by the pool initializer so
@@ -81,9 +83,12 @@ def parallel_count_ctx(
     if workers == 1:
         raw = 0
         n_tasks = 0
-        for p in tasks:
-            raw += counter(p)
-            n_tasks += 1
+        with span("pool", workers=1, split_depth=depth) as sp:
+            for p in tasks:
+                raw += counter(p)
+                n_tasks += 1
+            sp.set(tasks=n_tasks)
+        obs_metrics.PARALLEL_TASKS.inc(n_tasks)
         return ParallelResult(engine.finalize_count(raw), n_tasks, 1, depth, effective)
 
     mp_ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
@@ -92,12 +97,17 @@ def parallel_count_ctx(
     # A pre-generated kernel is an exec() product and does not pickle
     # under spawn; workers re-derive their own kernel anyway.
     ship = replace(ctx, generated=None)
-    with mp_ctx.Pool(
-        workers, initializer=_init_worker, initargs=(ship, depth, worker_backend)
-    ) as pool:
-        for sub in pool.imap_unordered(_run_task, tasks, chunksize=chunksize):
-            raw += sub
-            n_tasks += 1
+    # Master-side span only: spans opened inside pool workers live in
+    # other processes and cannot attach to this trace.
+    with span("pool", workers=workers, split_depth=depth) as sp:
+        with mp_ctx.Pool(
+            workers, initializer=_init_worker, initargs=(ship, depth, worker_backend)
+        ) as pool:
+            for sub in pool.imap_unordered(_run_task, tasks, chunksize=chunksize):
+                raw += sub
+                n_tasks += 1
+        sp.set(tasks=n_tasks)
+    obs_metrics.PARALLEL_TASKS.inc(n_tasks)
     return ParallelResult(engine.finalize_count(raw), n_tasks, workers, depth, effective)
 
 

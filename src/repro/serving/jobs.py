@@ -152,6 +152,7 @@ class Job:
         "t_submit",
         "t_start",
         "t_done",
+        "trace",
     )
 
     def __init__(
@@ -197,6 +198,9 @@ class Job:
         self.t_submit: float = 0.0
         self.t_start: float = 0.0
         self.t_done: float = 0.0
+        #: the worker-side span tree (a :class:`repro.obs.trace.Trace`)
+        #: when tracing was enabled while the job ran; None otherwise.
+        self.trace: Any = None
 
     @property
     def finished(self) -> bool:
@@ -259,6 +263,12 @@ class JobHandle:
         if not self._job.finished:
             return 0.0
         return self._job.t_done - self._job.t_submit
+
+    @property
+    def trace(self) -> Any:
+        """The job's span tree (populated only when tracing was enabled
+        while a worker ran this job; followers share the primary's)."""
+        return self._job.trace
 
     @property
     def queue_seconds(self) -> float:

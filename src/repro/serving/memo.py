@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, NamedTuple
 
+from repro.obs import metrics as obs_metrics
 from repro.serving.jobs import Job
 
 
@@ -84,13 +85,16 @@ class ResultMemo:
         with self._lock:
             if key in self._results:
                 self._hits += 1
+                obs_metrics.MEMO_HITS.inc()
                 self._results.move_to_end(key)
                 return True, self._results[key], None
             primary = self._inflight.get(key)
             if primary is not None:
                 self._collapsed += 1
+                obs_metrics.MEMO_COLLAPSED.inc()
                 return False, None, primary
             self._misses += 1
+            obs_metrics.MEMO_MISSES.inc()
             return False, None, None
 
     def register_inflight(self, key: tuple, job: Job) -> None:

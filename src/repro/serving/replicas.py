@@ -144,6 +144,18 @@ class ReplicaRegistry:
         with self._lock:
             return tuple(sorted(self._replicas))
 
+    def snapshot(self) -> tuple[tuple[str, Replica], ...]:
+        """Atomic ``(name, replica)`` capture, sorted by name.
+
+        The read path for anything that iterates replicas
+        (``MatchService.stats()``): ``names()`` followed by per-name
+        ``get()`` calls races concurrent ``remove()`` — a name listed in
+        the first call can be gone by the second, turning a stats poll
+        into a spurious ``KeyError``.
+        """
+        with self._lock:
+            return tuple(sorted(self._replicas.items()))
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._replicas

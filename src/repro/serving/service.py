@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from repro.core.session import CacheInfo, get_session
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import collect, record_span
 from repro.serving.jobs import (
     CANCELLED,
     DONE,
@@ -309,6 +311,7 @@ class MatchService:
             self._submitted += 1
             job.enqueued = True
             self._queued += 1
+            obs_metrics.SERVICE_QUEUE_DEPTH.inc()
             heapq.heappush(self._heap, (-priority, job.seq, job))
             if use_memo:
                 self._memo.register_inflight(key, job)
@@ -338,6 +341,7 @@ class MatchService:
             if job.enqueued and job.state == QUEUED:
                 self._queued -= 1
                 job.enqueued = False
+                obs_metrics.SERVICE_QUEUE_DEPTH.dec()
             self._timed_out += 1
             job.cancel_event.set()
             self._finalize(
@@ -357,6 +361,7 @@ class MatchService:
             if job.enqueued and job.state == QUEUED:
                 self._queued -= 1
                 job.enqueued = False
+                obs_metrics.SERVICE_QUEUE_DEPTH.dec()
             job.cancel_event.set()
             self._finalize(job, CANCELLED)
             return True
@@ -382,6 +387,12 @@ class MatchService:
             self._cancelled += 1
         else:
             self._failed += 1
+        obs_metrics.SERVICE_JOBS.labels(state=state).inc()
+        obs_metrics.SERVICE_JOB_SECONDS.observe(job.t_done - job.t_submit)
+        if job.t_start:
+            obs_metrics.SERVICE_QUEUE_WAIT_SECONDS.observe(
+                job.t_start - job.t_submit
+            )
         if job.memo_key is not None:
             self._memo.resolve(job.memo_key, job, value, store=state == DONE)
         job._finished.set()
@@ -396,6 +407,7 @@ class MatchService:
             fjob = fh._job
             if not fjob.finished:
                 fjob.t_start = fjob.t_start or job.t_start or fjob.t_submit
+                fjob.trace = fjob.trace or job.trace
                 self._finalize(fjob, state, value=value, error=error)
 
     def _next_job(self) -> Job | None:
@@ -410,6 +422,7 @@ class MatchService:
                 continue  # cancelled/expired while queued; slot already freed
             job.enqueued = False
             self._queued -= 1
+            obs_metrics.SERVICE_QUEUE_DEPTH.dec()
             job.state = RUNNING
             job.t_start = time.perf_counter()
             self._running += 1
@@ -422,14 +435,31 @@ class MatchService:
                 job = self._next_job()
             if job is None:
                 return
+            trace = None
             try:
-                value = self._executor(job.graph, job.request, job.cancel_event)
+                with collect(
+                    "serve.job",
+                    job=job.id,
+                    kind=job.request.kind,
+                    graph=job.request.graph,
+                ) as trace:
+                    # the time this job sat QUEUED, as a sibling interval
+                    # of the execution work — the wait/run split in one
+                    # trace (Perfetto shows it as a leading child slice).
+                    record_span("serve.queue_wait", job.t_submit, job.t_start)
+                    value = self._executor(
+                        job.graph, job.request, job.cancel_event
+                    )
             except Exception as exc:  # noqa: BLE001 — job-scoped failure wall
                 with self._lock:
+                    job.trace = trace
                     if not job.finished:
                         self._finalize(job, FAILED, error=exc)
             else:
+                if trace is not None:
+                    obs_metrics.TRACES_COLLECTED.inc()
                 with self._lock:
+                    job.trace = trace
                     if not job.finished:
                         self._finalize(job, DONE, value=value)
                     # else: cancelled/timed out mid-run — result disowned.
@@ -440,8 +470,13 @@ class MatchService:
     def stats(self) -> ServiceStats:
         """The service's counters plus every replica's plan-cache info."""
         plan_caches: dict[str, CacheInfo] = {}
-        for name in self.registry.names():
-            graph, _ = self.registry.get(name).freeze()
+        # One atomic capture of the replica set: iterating names() and
+        # re-resolving each with get() races concurrent remove()/add —
+        # a replica dropped mid-iteration turned a stats poll into a
+        # KeyError.  freeze() then takes each replica's own lock, so a
+        # racing apply_churn still yields a consistent (graph, version).
+        for name, replica in self.registry.snapshot():
+            graph, _ = replica.freeze()
             plan_caches[name] = get_session(graph).cache_info()
         with self._lock:
             return ServiceStats(
@@ -458,6 +493,18 @@ class MatchService:
                 memo=self._memo.stats(),
                 plan_caches=plan_caches,
             )
+
+    def export_metrics(self) -> str:
+        """Prometheus text exposition of the process-global registry.
+
+        The serving half of the observability surface: everything the
+        service and the layers under it emitted (job states, queue
+        depth, latency histograms, memo and plan-cache counters) in the
+        format a scraper — or ``repro metrics`` — expects.  The registry
+        is process-global, so services sharing a process share one
+        exposition.
+        """
+        return obs_metrics.REGISTRY.render_prometheus()
 
     @property
     def queue_limit(self) -> int:

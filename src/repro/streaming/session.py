@@ -38,6 +38,8 @@ from repro.core.query import MatchQuery, as_query
 from repro.core.session import get_session
 from repro.graph.csr import Graph
 from repro.graph.dynamic import DynamicGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.streaming.delta_plan import DeltaPlan, delta_plan_for
 from repro.streaming.executor import STRATEGIES, DeltaExecutor
 from repro.utils.tables import Table
@@ -379,7 +381,9 @@ class StreamSession:
         deltas = {h.name: 0 for h in watches}
         seconds = {h.name: 0.0 for h in watches}
         n_inserts = 0
-        with Timer() as t_batch:
+        with Timer() as t_batch, span(
+            "stream.apply", updates=len(batch), strategy=strategy
+        ):
             for up in batch:
                 u, v = up.u, up.v
                 if up.is_insert:
@@ -392,10 +396,16 @@ class StreamSession:
                 # one pass serves every watch: the executor (and its
                 # bulk-row cache) is shared across queries and updates.
                 for h in watches:
-                    with Timer() as t:
+                    with Timer() as t, span(
+                        "stream.delta",
+                        watch=h.name,
+                        n_orbits=len(h.plan.anchored),
+                    ) as sp:
                         d = self._executor.count_edge(
                             h.plan, u, v, strategy=strategy
                         )
+                        sp.set(delta=sign * d)
+                    obs_metrics.STREAM_DELTAS.inc()
                     deltas[h.name] += sign * d
                     seconds[h.name] += t.elapsed
                 if not up.is_insert:

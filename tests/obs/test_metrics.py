@@ -1,0 +1,185 @@
+"""Unit tests for the metrics registry (`repro.obs.metrics`).
+
+The instrument mechanics run against fresh private registries; the
+process-global :data:`repro.obs.metrics.REGISTRY` is only read (its
+catalog and exposition), never reset — resetting it would race the
+rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert dict(c.samples()) == {"jobs_total": 5}
+
+    def test_labeled_counter_samples_per_combination(self, registry):
+        c = registry.counter("runs_total", "runs", labels=("backend",))
+        c.labels(backend="vectorised").inc(2)
+        c.labels(backend="compiled").inc()
+        assert dict(c.samples()) == {
+            'runs_total{backend="compiled"}': 1,
+            'runs_total{backend="vectorised"}': 2,
+        }
+
+    def test_labeled_counter_rejects_bare_inc(self, registry):
+        c = registry.counter("runs_total", "runs", labels=("backend",))
+        with pytest.raises(ValueError, match="labeled"):
+            c.inc()
+
+    def test_labels_validates_names(self, registry):
+        c = registry.counter("runs_total", "runs", labels=("backend",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(nope="x")
+
+    def test_reset(self, registry):
+        c = registry.counter("runs_total", "runs", labels=("backend",))
+        c.labels(backend="x").inc()
+        c.reset()
+        assert dict(c.samples()) == {}
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "queue depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+        assert dict(g.samples()) == {"depth": 2}
+
+    def test_reset(self, registry):
+        g = registry.gauge("depth", "queue depth")
+        g.set(9)
+        g.reset()
+        assert g.value == 0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self, registry):
+        h = registry.histogram("lat_seconds", "latency", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert dict(h.samples()) == {
+            'lat_seconds_bucket{le="0.1"}': 1,
+            'lat_seconds_bucket{le="1"}': 2,
+            'lat_seconds_bucket{le="+Inf"}': 3,
+            "lat_seconds_sum": pytest.approx(5.55),
+            "lat_seconds_count": 3,
+        }
+        assert h.count == 3 and h.sum == pytest.approx(5.55)
+
+    def test_default_bounds_are_sorted_seconds(self):
+        assert list(SECONDS_BUCKETS) == sorted(SECONDS_BUCKETS)
+
+    def test_unsorted_bounds_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad", "x", bounds=(1.0, 0.1))
+
+    def test_reset(self, registry):
+        h = registry.histogram("lat_seconds", "latency", bounds=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, registry):
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total", "x again")
+
+    def test_get_and_names_preserve_order(self, registry):
+        a = registry.counter("a_total", "a")
+        b = registry.gauge("b", "b")
+        assert registry.names() == ["a_total", "b"]
+        assert registry.get("a_total") is a and registry.get("b") is b
+
+    def test_snapshot_and_delta_track_movement(self, registry):
+        c = registry.counter("x_total", "x")
+        g = registry.gauge("y", "y")
+        before = registry.snapshot()
+        c.inc(3)
+        g.set(2)
+        moved = registry.delta(before)
+        assert moved == {"x_total": 3, "y": 2}
+        # unchanged samples are omitted entirely
+        assert registry.delta(registry.snapshot()) == {}
+
+    def test_reset_zeroes_every_instrument(self, registry):
+        c = registry.counter("x_total", "x")
+        h = registry.histogram("h_seconds", "h", bounds=(1.0,))
+        c.inc()
+        h.observe(0.5)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["x_total"] == 0 and snap["h_seconds_count"] == 0
+
+    def test_describe_yields_catalog_rows(self, registry):
+        registry.counter("x_total", "help x", labels=("k",))
+        [spec] = registry.describe()
+        assert spec == ("x_total", "counter", ("k",), "help x")
+
+    def test_render_prometheus_exposition(self, registry):
+        c = registry.counter("x_total", "things done", labels=("kind",))
+        c.labels(kind="a").inc(2)
+        text = registry.render_prometheus()
+        assert "# HELP x_total things done" in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{kind="a"} 2' in text
+        assert text.endswith("\n")
+
+
+class TestGlobalCatalog:
+    """The process-global registry is the documented catalog."""
+
+    def test_every_declared_instrument_is_registered(self):
+        names = set(obs_metrics.REGISTRY.names())
+        for attr in dir(obs_metrics):
+            instrument = getattr(obs_metrics, attr)
+            if isinstance(
+                instrument,
+                (obs_metrics.Counter, obs_metrics.Gauge, obs_metrics.Histogram),
+            ):
+                assert instrument.name in names
+
+    def test_catalog_naming_conventions(self):
+        for spec in obs_metrics.REGISTRY.describe():
+            assert spec.name.startswith("repro_"), spec.name
+            if spec.kind == "counter":
+                assert spec.name.endswith("_total"), spec.name
+            if spec.kind == "histogram":
+                assert spec.name.endswith("_seconds"), spec.name
+            assert spec.help.strip(), f"{spec.name} has no help text"
+
+    def test_generated_doc_catalog_is_fresh(self):
+        """The committed docs table matches the live registry (CI gate)."""
+        import sys
+        from pathlib import Path
+
+        tools = Path(__file__).resolve().parents[2] / "tools"
+        sys.path.insert(0, str(tools))
+        try:
+            import gen_metric_catalog
+
+            target = Path(gen_metric_catalog.DEFAULT_TARGET)
+            current = target.read_text()
+            assert gen_metric_catalog.splice(
+                current, gen_metric_catalog.render_table()
+            ) == current
+        finally:
+            sys.path.remove(str(tools))

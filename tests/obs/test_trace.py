@@ -1,0 +1,256 @@
+"""Unit tests for the tracing core (`repro.obs.trace`).
+
+Everything here runs with tracing explicitly enabled/disabled around
+each test (the `tracing` fixture restores the disabled default), so the
+suite never leaks an enabled sampler into unrelated tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    annotate,
+    collect,
+    current,
+    record_span,
+    span,
+    under,
+)
+
+
+@pytest.fixture
+def tracing():
+    """Tracing on for the test, restored to disabled afterwards."""
+    obs_trace.enable()
+    yield
+    obs_trace.disable()
+
+
+class TestDisabled:
+    def test_span_is_the_shared_noop(self):
+        assert obs_trace.enabled() is False
+        assert span("anything", depth=3) is NOOP_SPAN
+
+    def test_noop_supports_the_span_surface(self):
+        with span("x") as sp:
+            assert sp.set(a=1) is sp
+            assert sp.add("rows", 10) is sp
+
+    def test_collect_yields_none(self):
+        with collect("match") as trace:
+            assert trace is None
+
+    def test_record_span_and_annotate_are_noops(self):
+        assert record_span("wait", 0.0, 1.0) is NOOP_SPAN
+        annotate(ignored=True)  # must not raise with no open span
+
+
+class TestSpanTree:
+    def test_nesting_parent_child(self, tracing):
+        with collect("root") as trace:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("c"):
+                pass
+        [a] = trace.find("a")
+        assert [c.name for c in a.children] == ["b"]
+        assert [c.name for c in trace.root.children] == ["a", "c"]
+        assert trace.depth() == 3
+
+    def test_timings_are_well_nested(self, tracing):
+        with collect("root") as trace:
+            with span("child"):
+                pass
+        [child] = trace.find("child")
+        root = trace.root
+        assert root.t0 <= child.t0 <= child.t1 <= root.t1
+        assert root.seconds >= child.seconds
+        assert root.self_seconds <= root.seconds
+
+    def test_set_add_and_attrs(self, tracing):
+        with collect("root") as trace:
+            with span("work", mode="plain") as sp:
+                sp.set(rows=10)
+                sp.add("rows", 5)
+                sp.add("calls")
+        [work] = trace.find("work")
+        assert work.attrs == {"mode": "plain", "rows": 15, "calls": 1}
+
+    def test_exception_sets_error_attr_and_propagates(self, tracing):
+        with collect("root") as trace:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        [doomed] = trace.find("doomed")
+        assert doomed.attrs["error"] == "ValueError"
+
+    def test_record_span_attaches_completed_interval(self, tracing):
+        with collect("root") as trace:
+            t = obs_trace.perf_counter()
+            record_span("wait", t - 0.5, t, kind="queue")
+        [wait] = trace.find("wait")
+        assert wait.seconds == pytest.approx(0.5)
+        assert wait.attrs == {"kind": "queue"}
+
+    def test_annotate_enriches_the_innermost_span(self, tracing):
+        with collect("root") as trace:
+            with span("outer"):
+                with span("inner"):
+                    annotate(deep=True)
+        [inner] = trace.find("inner")
+        assert inner.attrs == {"deep": True}
+        [outer] = trace.find("outer")
+        assert "deep" not in outer.attrs
+
+    def test_current_tracks_the_stack(self, tracing):
+        with collect("root"):
+            with span("a") as a:
+                assert current() is a
+        assert current() is None
+
+    def test_under_adopts_a_foreign_parent(self, tracing):
+        parent = Span("adopted")
+        with parent:
+            pass
+        parent.children.clear()  # reuse as a bare container
+
+        done = threading.Event()
+
+        def worker():
+            with under(parent):
+                with span("from-thread"):
+                    pass
+            done.set()
+
+        threading.Thread(target=worker).start()
+        assert done.wait(5)
+        assert [c.name for c in parent.children] == ["from-thread"]
+
+    def test_root_without_collector_is_discarded(self, tracing):
+        # a worker tracing into the void must not raise or leak state
+        with span("orphan"):
+            pass
+        assert current() is None
+
+    def test_nested_collects_share_the_tree(self, tracing):
+        with collect("outer") as outer:
+            with collect("inner") as inner:
+                with span("leaf"):
+                    pass
+        assert inner is not None and inner.root is not None
+        # the inner root nests under the outer root as a subtree
+        assert [c.name for c in outer.root.children] == ["inner"]
+        assert outer.find("leaf") and inner.find("leaf")
+
+
+class TestSampler:
+    def test_every_n_is_deterministic(self):
+        obs_trace.enable(every=3)
+        try:
+            got = []
+            for _ in range(6):
+                with collect("t") as trace:
+                    got.append(trace is not None)
+        finally:
+            obs_trace.disable()
+        # the Nth collection is admitted (not the first): a huge period
+        # behaves like disabled tracing, which the overhead bench uses.
+        assert got == [False, False, True, False, False, True]
+
+    def test_unsampled_collection_still_yields_counts(self):
+        obs_trace.enable(every=10**9)
+        try:
+            with collect("t") as trace:
+                value = 41 + 1
+        finally:
+            obs_trace.disable()
+        assert trace is None and value == 42
+
+    def test_enable_resets_the_sampler(self):
+        obs_trace.enable(every=2)
+        try:
+            with collect("t") as first:
+                pass
+            with collect("t") as second:
+                pass
+            obs_trace.enable(every=2)  # re-enabling restarts the count
+            with collect("t") as after_reset:
+                pass
+        finally:
+            obs_trace.disable()
+        assert first is None and second is not None
+        assert after_reset is None
+
+
+class TestExport:
+    def _trace(self):
+        obs_trace.enable()
+        try:
+            with collect("match", mode="plain") as trace:
+                with span("plan"):
+                    with span("model", n_configs=4):
+                        pass
+                with span("execute", backend="vectorised") as sp:
+                    sp.set(count=7)
+        finally:
+            obs_trace.disable()
+        return trace
+
+    def test_chrome_export_is_valid_and_well_formed(self):
+        trace = self._trace()
+        payload = json.loads(trace.to_chrome_json())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert {e["name"] for e in events} == {"match", "plan", "model", "execute"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        [execute] = [e for e in events if e["name"] == "execute"]
+        assert execute["args"] == {"backend": "vectorised", "count": 7}
+
+    def test_chrome_args_are_json_safe(self):
+        obs_trace.enable()
+        try:
+            with collect("t") as trace:
+                with span("x", obj=object(), ok=1):
+                    pass
+        finally:
+            obs_trace.disable()
+        args = json.loads(trace.to_chrome_json())["traceEvents"][-1]["args"]
+        assert args["ok"] == 1 and args["obj"].startswith("<object")
+
+    def test_render_shows_totals_and_attrs(self):
+        text = self._trace().render()
+        assert "match [mode=plain]" in text
+        assert "execute [backend=vectorised count=7]" in text
+        assert "total" in text and "self" in text
+        # tree drawing: children are connected
+        assert "├─" in text or "└─" in text
+
+    def test_render_hides_cheap_spans(self):
+        text = self._trace().render(min_seconds=10.0)
+        assert "spans under 10000.00ms hidden" in text
+        assert "plan" not in text
+
+    def test_empty_trace_renders_and_exports(self):
+        trace = obs_trace.Trace("empty")
+        assert "empty" in trace.render()
+        assert json.loads(trace.to_chrome_json())["traceEvents"] == []
+        assert trace.depth() == 0 and trace.seconds == 0.0
+
+    def test_to_dict_round_trips_structure(self):
+        payload = self._trace().to_dict()
+        assert payload["name"] == "match"
+        root = payload["root"]
+        assert [c["name"] for c in root["children"]] == ["plan", "execute"]
+        assert json.dumps(payload)  # JSON-serialisable throughout

@@ -1,0 +1,135 @@
+"""Property tests for trace structure under concurrency.
+
+The invariant the tracing substrate promises: every collected trace is
+a *well-nested* tree — a child's interval lies inside its parent's, and
+same-thread siblings never overlap — no matter how many service worker
+threads or parallel-backend pools are tracing at once, because span
+stacks are thread-local and a job's tree is built wholly on its worker
+thread.
+
+One deliberate exception: intervals attached with
+:func:`repro.obs.trace.record_span` (``serve.queue_wait``) describe
+time *before* their parent span opened — they are annotations of the
+past, exempt from the containment check by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import MatchQuery, MatchSession, get_backend, obs
+from repro.graph.generators import erdos_renyi
+from repro.pattern.catalog import get_pattern
+from repro.serving import MatchService
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PATTERNS = ("triangle", "rectangle", "house")
+
+#: intervals recorded after the fact (record_span) — exempt from the
+#: child-inside-parent check, see the module docstring.
+RECORDED = {"serve.queue_wait"}
+
+_GRAPH = None
+
+
+def property_graph():
+    global _GRAPH
+    if _GRAPH is None:
+        _GRAPH = erdos_renyi(40, 0.25, seed=101)
+    return _GRAPH
+
+
+def assert_well_nested(trace) -> None:
+    assert trace.root is not None
+    for sp in trace.spans():
+        assert sp.t1 >= sp.t0, f"span {sp.name!r} closed before it opened"
+        nested = [c for c in sp.children if c.name not in RECORDED]
+        for child in sp.children:
+            assert child.t1 <= sp.t1, (
+                f"child {child.name!r} outlives parent {sp.name!r}"
+            )
+        for child in nested:
+            assert child.t0 >= sp.t0, (
+                f"child {child.name!r} started before parent {sp.name!r}"
+            )
+        # same-thread siblings attach in completion order and, under
+        # stack discipline, never overlap
+        by_tid: dict[int, list] = {}
+        for child in nested:
+            by_tid.setdefault(child.tid, []).append(child)
+        for siblings in by_tid.values():
+            for a, b in zip(siblings, siblings[1:]):
+                assert a.t1 <= b.t0, (
+                    f"siblings {a.name!r} and {b.name!r} overlap"
+                )
+
+
+@pytest.fixture(autouse=True)
+def _tracing():
+    obs.enable()
+    yield
+    obs.disable()
+
+
+class TestConcurrentServiceTraces:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.sampled_from(PATTERNS),
+                st.integers(min_value=0, max_value=5),  # priority
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        n_workers=st.integers(min_value=1, max_value=3),
+    )
+    @SETTINGS
+    def test_every_job_trace_is_well_nested(self, jobs, n_workers):
+        service = MatchService(
+            n_workers=n_workers, queue_limit=32, memoise=False
+        )
+        service.add_graph("default", property_graph())
+        try:
+            handles = [
+                service.count(get_pattern(pname), priority=priority)
+                for pname, priority in jobs
+            ]
+            for handle in handles:
+                handle.result(timeout=60)
+        finally:
+            service.close()
+        for handle in handles:
+            trace = handle.trace
+            assert trace is not None and trace.root.name == "serve.job"
+            assert_well_nested(trace)
+            # a job runs wholly inside one worker thread: its tree is
+            # single-threaded even when n_workers traces run at once
+            assert {sp.tid for sp in trace.spans()} == {trace.root.tid}
+            assert trace.find("match"), "the session subtree must nest inside"
+
+
+class TestParallelBackendTraces:
+    @given(
+        pname=st.sampled_from(PATTERNS),
+        n_workers=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_parallel_pool_trace_is_well_nested(self, pname, n_workers):
+        session = MatchSession(property_graph())
+        result = session.count(
+            MatchQuery(get_pattern(pname)),
+            backend=get_backend("parallel", n_workers=n_workers),
+        )
+        trace = result.trace
+        assert trace is not None
+        assert_well_nested(trace)
+        [pool] = trace.find("pool")
+        assert pool.attrs["workers"] == n_workers
+        assert pool.attrs["tasks"] >= 1

@@ -1,0 +1,244 @@
+"""Serving-side observability: job traces, metrics export, and the two
+regression tests this layer owed — the stats()/remove() registry race
+and the cancelled-primary single-flight follower.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.graph.builder import graph_from_edges
+from repro.obs import metrics as obs_metrics
+from repro.pattern.catalog import get_pattern
+from repro.serving import (
+    CANCELLED,
+    JobCancelled,
+    MatchRequest,
+    MatchService,
+    ReplicaRegistry,
+)
+
+from .conftest import job
+
+
+@pytest.fixture
+def tracing():
+    obs.enable()
+    yield
+    obs.disable()
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_sorted_and_consistent(self, triangle_graph):
+        registry = ReplicaRegistry()
+        registry.add("b", triangle_graph)
+        registry.add("a", triangle_graph)
+        snap = registry.snapshot()
+        assert [name for name, _ in snap] == ["a", "b"]
+        assert all(replica is registry.get(name) for name, replica in snap)
+
+    def test_snapshot_is_detached_from_mutation(self, triangle_graph):
+        registry = ReplicaRegistry()
+        registry.add("a", triangle_graph)
+        snap = registry.snapshot()
+        registry.remove("a")
+        # the captured pairs stay usable after the removal
+        assert snap[0][0] == "a" and snap[0][1].freeze() is not None
+
+    def test_stats_survives_concurrent_replica_churn(
+        self, fake_backend, triangle_graph
+    ):
+        """Regression: stats() iterated names() then re-resolved each with
+        get(), so a replica removed between the two calls raised KeyError
+        out of a monitoring poll.  snapshot() captures one consistent set.
+        """
+        service = MatchService(
+            n_workers=1, queue_limit=8, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        fake_backend.gate.set()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn(worker: int):
+            i = 0
+            while not stop.is_set():
+                name = f"replica-{worker}-{i % 7}"
+                try:
+                    service.add_graph(name, triangle_graph)
+                    service.registry.remove(name)
+                except BaseException as exc:  # noqa: BLE001 - fail the test
+                    errors.append(exc)
+                    return
+                i += 1
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    stats = service.stats()
+                    assert "default" in stats.plan_caches
+                except BaseException as exc:  # noqa: BLE001 - fail the test
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(2)]
+        threads += [threading.Thread(target=poll) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(1.0, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(10)
+        stop.set()
+        stop_timer.cancel()
+        service.close()
+        assert not errors, f"stats/churn race resurfaced: {errors[:1]!r}"
+
+
+class TestCancelledPrimaryFollowers:
+    def test_followers_of_a_cancelled_primary_unblock(
+        self, fake_backend, triangle_graph
+    ):
+        """A job cancelled while single-flight followers wait must resolve
+        those followers immediately (same outcome), not strand them until
+        their own timeouts — and the next identical submission must
+        re-execute rather than follow a ghost.
+        """
+        service = MatchService(
+            n_workers=1, queue_limit=8, memoise=True, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        try:
+            fake_backend.cancel_waiters.add(0)
+            primary = service.submit(job(0))
+            fake_backend.wait_started(1)
+            followers = [service.submit(job(0)) for _ in range(3)]
+            assert service.stats().memo.collapsed == 3
+
+            assert primary.cancel() is True
+            # bounded wait: a stranded follower fails here, not forever
+            for follower in followers:
+                with pytest.raises(JobCancelled):
+                    follower.result(timeout=5)
+                assert follower.state == CANCELLED
+
+            # the in-flight slot is cleared: a re-submission re-executes
+            fake_backend.cancel_waiters.clear()
+            fake_backend.gate.set()
+            retry = service.submit(job(0))
+            assert retry.result(timeout=5) == 7
+            assert fake_backend.started == [0, 0]
+        finally:
+            fake_backend.gate.set()
+            service.close()
+
+
+class TestJobTraces:
+    def test_job_handle_carries_the_serve_trace(self, tracing, triangle_graph):
+        service = MatchService(n_workers=1, queue_limit=8, memoise=False)
+        service.add_graph("default", triangle_graph)
+        try:
+            handle = service.count(get_pattern("triangle"))
+            count = handle.result(timeout=30)
+            trace = handle.trace
+            assert trace is not None and trace.root.name == "serve.job"
+            assert trace.root.attrs["kind"] == "count"
+            assert trace.find("serve.queue_wait")
+            # the session's match subtree nests inside the job trace
+            [match] = trace.find("match")
+            [execute] = trace.find("execute")
+            assert execute.attrs["count"] == count
+            assert trace.depth() >= 3
+        finally:
+            service.close()
+
+    def test_followers_share_the_primary_trace(
+        self, tracing, fake_backend, triangle_graph
+    ):
+        service = MatchService(
+            n_workers=1, queue_limit=8, memoise=True, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        try:
+            primary = service.submit(job(0))
+            fake_backend.wait_started(1)
+            follower = service.submit(job(0))
+            fake_backend.gate.set()
+            assert primary.result(timeout=5) == follower.result(timeout=5)
+            assert primary.trace is not None
+            assert follower.trace is primary.trace
+        finally:
+            fake_backend.gate.set()
+            service.close()
+
+    def test_untraced_service_attaches_nothing(self, fake_backend, triangle_graph):
+        assert not obs.enabled()
+        service = MatchService(
+            n_workers=1, queue_limit=8, memoise=False, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        try:
+            fake_backend.gate.set()
+            handle = service.submit(job(0))
+            handle.result(timeout=5)
+            assert handle.trace is None
+        finally:
+            service.close()
+
+
+class TestMetricsExport:
+    def test_export_metrics_is_the_prometheus_exposition(
+        self, fake_backend, triangle_graph
+    ):
+        service = MatchService(
+            n_workers=1, queue_limit=8, memoise=False, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        try:
+            before = obs_metrics.REGISTRY.snapshot()
+            fake_backend.gate.set()
+            service.submit(job(0)).result(timeout=5)
+            moved = obs_metrics.REGISTRY.delta(before)
+            assert moved.get('repro_service_jobs_total{state="done"}', 0) >= 1
+            assert moved.get("repro_service_job_seconds_count", 0) >= 1
+            assert moved.get("repro_service_queue_wait_seconds_count", 0) >= 1
+            text = service.export_metrics()
+            assert "# TYPE repro_service_jobs_total counter" in text
+            assert "repro_service_queue_depth" in text
+        finally:
+            service.close()
+
+    def test_queue_depth_gauge_returns_to_rest(self, fake_backend, triangle_graph):
+        service = MatchService(
+            n_workers=1, queue_limit=8, memoise=False, executor=fake_backend
+        )
+        service.add_graph("default", triangle_graph)
+        try:
+            rest = obs_metrics.SERVICE_QUEUE_DEPTH.value
+            service.submit(job(0))
+            fake_backend.wait_started(1)
+            queued = [service.submit(job(i)) for i in range(1, 4)]
+            assert obs_metrics.SERVICE_QUEUE_DEPTH.value == rest + 3
+            queued[0].cancel()  # dequeue via cancel
+            fake_backend.gate.set()
+            assert service.drain(timeout=10)
+            assert obs_metrics.SERVICE_QUEUE_DEPTH.value == rest
+        finally:
+            fake_backend.gate.set()
+            service.close()
+
+
+def test_request_kind_validation_unchanged(triangle_graph):
+    """The instrumented submit path still validates before counting."""
+    service = MatchService(n_workers=1, queue_limit=2)
+    service.add_graph("default", triangle_graph)
+    try:
+        before = obs_metrics.REGISTRY.snapshot()
+        with pytest.raises(ValueError):
+            MatchRequest("explode", get_pattern("triangle"))
+        assert obs_metrics.REGISTRY.delta(before) == {}
+    finally:
+        service.close()

@@ -495,3 +495,80 @@ class TestServeCommand:
                    "--dataset", "wiki-vote", "--scale", "0.05"])
         assert rc == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    COUNT = ["count", "--pattern", "house", "--dataset", "wiki-vote",
+             "--scale", "0.05", "--seed", "3", "--backend", "vectorised"]
+
+    def test_explain_prints_the_span_tree(self, capsys):
+        from repro.obs import trace as obs_trace
+
+        assert main(self.COUNT + ["--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "where the time went:" in out
+        assert "match [" in out and "execute [" in out and "depth [" in out
+        assert "total" in out and "self" in out
+        # the flag is scoped to the command: tracing is off again
+        assert not obs_trace.enabled()
+
+    def test_explain_count_matches_untraced_count(self, capsys):
+        assert main(list(self.COUNT)) == 0
+        plain = capsys.readouterr().out
+        assert main(self.COUNT + ["--explain"]) == 0
+        traced = capsys.readouterr().out
+        shown = lambda out: int(out.split("count:")[1].split()[0])  # noqa: E731
+        assert shown(plain) == shown(traced)
+
+    def test_trace_out_writes_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "count.trace.json"
+        assert main(self.COUNT + ["--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace_event JSON" in out
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events}
+        assert {"match", "plan", "execute", "depth"} <= names
+        assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+
+    def test_explain_rejected_with_approx(self, capsys):
+        rc = main(["count", "--pattern", "triangle", "--dataset", "wiki-vote",
+                   "--scale", "0.05", "--approx", "100", "--explain"])
+        assert rc == 2
+        assert "not traced" in capsys.readouterr().err
+
+    def test_trace_out_rejected_with_directed_batch(self, capsys, tmp_path):
+        rc = main(["count", "--mode", "directed", "--pattern", "ffl,dcycle-3",
+                   "--dataset", "wiki-vote", "--scale", "0.05",
+                   "--trace-out", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "one count at a time" in capsys.readouterr().err
+
+    def test_metrics_command_dumps_the_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_plan_cache_hits_total" in out
+        assert "# TYPE repro_service_job_seconds histogram" in out
+
+    def test_metrics_exercise_shows_live_values(self, capsys):
+        assert main(["metrics", "--exercise", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        line = next(
+            ln for ln in out.splitlines()
+            if ln.startswith('repro_backend_counts_total{backend="vectorised"}')
+        )
+        assert float(line.split()[-1]) >= 2
+
+    def test_backends_table_shows_traced_column(self, capsys):
+        from repro.core.backend import available_backends
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        header = next(ln for ln in out.splitlines() if "traced" in ln)
+        assert "kernels" in header
+        for name, info in available_backends().items():
+            row = next(ln for ln in out.splitlines() if ln.startswith(name))
+            assert ("yes" if info.capabilities.traced else "no") in row

@@ -195,6 +195,11 @@ BACKEND_OPTIONS = {
 
 #: collection-time discovery: every registered backend, automatically.
 ALL_BACKENDS = sorted(available_backends())
+TRACED_BACKENDS = sorted(
+    name
+    for name, info in available_backends().items()
+    if info.capabilities.traced
+)
 ENUMERATING_BACKENDS = sorted(
     name
     for name, info in available_backends().items()
@@ -404,3 +409,43 @@ class TestEnumerationConformance:
         }
         assert got == reference
         assert len(reference) == GOLDEN["er-40"][pname]
+
+
+class TestTracedConformance:
+    """Backends that declare ``traced`` must actually attach span trees.
+
+    The capability column in ``repro backends`` (and the generated
+    docs table) is a promise: with tracing enabled, an execution via
+    the session yields a :class:`MatchResult` whose trace contains the
+    backend's fine-grained spans (``depth`` for the frontier engines,
+    ``task`` for the distributed master) — and the count is still the
+    golden one.
+    """
+
+    def test_the_traced_set_is_nonempty(self):
+        assert "vectorised" in TRACED_BACKENDS
+
+    @pytest.mark.parametrize("backend", TRACED_BACKENDS)
+    def test_traced_backend_attaches_fine_grained_spans(self, backend):
+        from repro import obs
+
+        caps = available_backends()[backend].capabilities
+        if not caps.supports_mode("plain"):
+            pytest.skip(f"backend {backend!r} does not cover plain matching")
+        graph = conformance_graph("er-40")
+        query = MatchQuery(PATTERN_BUILDERS["house"]())
+        obs.enable()
+        try:
+            result = match_query(graph, query, backend=backend_spec(backend))
+        finally:
+            obs.disable()
+        assert int(result) == GOLDEN["er-40"]["house"]
+        assert result.trace is not None, (
+            f"{backend!r} declares traced=True but attached no trace"
+        )
+        fine = [s for s in result.trace.spans() if s.name in ("depth", "task")]
+        assert fine, (
+            f"{backend!r} declares traced=True but emitted no depth/task spans"
+        )
+        # match -> execute -> depth/task: the promised nesting.
+        assert result.trace.depth() >= 3

@@ -36,8 +36,8 @@ DEFAULT_TARGET = Path(__file__).resolve().parent.parent / "docs" / "backends.md"
 def render_table() -> str:
     """The capability/fallback table as GitHub-flavoured markdown."""
     rows = [
-        "| backend | modes | IEP plans | enumerates | kernels | role |",
-        "|---------|-------|-----------|------------|---------|------|",
+        "| backend | modes | IEP plans | enumerates | kernels | traced | role |",
+        "|---------|-------|-----------|------------|---------|--------|------|",
     ]
     for name, info in available_backends().items():
         caps = info.capabilities
@@ -47,12 +47,13 @@ def render_table() -> str:
         else:
             name = f"`{name}`"
         rows.append(
-            "| {} | {} | {} | {} | {} | {} |".format(
+            "| {} | {} | {} | {} | {} | {} | {} |".format(
                 name,
                 ", ".join(sorted(caps.modes)),
                 "yes" if caps.iep else "no",
                 "yes" if caps.enumeration else "no",
                 "yes" if caps.generated_kernels else "no",
+                "yes" if caps.traced else "no",
                 role,
             )
         )
@@ -61,6 +62,13 @@ def render_table() -> str:
         "\\* `auto` is a *meta* backend: it delegates to one of the others "
         "and is never its own delegation candidate.  Its declared flags "
         "keep every planner default available for the eventual delegate."
+    )
+    rows.append("")
+    rows.append(
+        "*traced* marks backends that emit fine-grained spans (per-depth "
+        "frontier steps, per-task ranges) under the session's `execute` "
+        "span when tracing is on — see "
+        "[observability](observability.md)."
     )
     return "\n".join(rows)
 

@@ -1,0 +1,107 @@
+"""Generate the metric catalog embedded in ``docs/observability.md``.
+
+The catalog is rendered from :meth:`repro.obs.metrics.MetricsRegistry.
+describe` over the process-global registry — every instrument the
+repository emits is declared at import time in ``repro/obs/metrics.py``,
+so importing that one module yields the complete set and the
+documentation cannot drift from the code.  The target file carries a
+marker pair::
+
+    <!-- BEGIN GENERATED: metric-catalog (tools/gen_metric_catalog.py) -->
+    ...
+    <!-- END GENERATED: metric-catalog -->
+
+and this tool rewrites everything between them.
+
+    PYTHONPATH=src python tools/gen_metric_catalog.py            # rewrite
+    PYTHONPATH=src python tools/gen_metric_catalog.py --check    # CI gate
+
+``--check`` exits 1 when the committed catalog differs from the
+registry (the CI docs job runs it; regenerate and commit on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import REGISTRY  # noqa: E402
+
+BEGIN = "<!-- BEGIN GENERATED: metric-catalog (tools/gen_metric_catalog.py) -->"
+END = "<!-- END GENERATED: metric-catalog -->"
+DEFAULT_TARGET = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
+
+
+def render_table() -> str:
+    """The metric catalog as GitHub-flavoured markdown."""
+    rows = [
+        "| metric | kind | labels | meaning |",
+        "|--------|------|--------|---------|",
+    ]
+    for spec in REGISTRY.describe():
+        rows.append(
+            "| `{}` | {} | {} | {} |".format(
+                spec.name,
+                spec.kind,
+                ", ".join(f"`{label}`" for label in spec.labels) or "—",
+                spec.help,
+            )
+        )
+    rows.append("")
+    rows.append(
+        "Histograms expose Prometheus cumulative samples "
+        "(`*_bucket{le=...}`, `*_sum`, `*_count`); labeled counters "
+        "expose one sample per observed label combination."
+    )
+    return "\n".join(rows)
+
+
+def splice(text: str, table: str) -> str:
+    """``text`` with the marker block's body replaced by ``table``."""
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"marker pair not found (expected {BEGIN!r} ... {END!r})"
+        )
+    return f"{head}{BEGIN}\n{table}\n{END}{tail}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the metric catalog in docs/observability.md"
+    )
+    parser.add_argument("--target", default=str(DEFAULT_TARGET), metavar="PATH")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the committed catalog is stale instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    target = Path(args.target)
+    current = target.read_text()
+    updated = splice(current, render_table())
+    if args.check:
+        if current != updated:
+            print(
+                f"{target}: metric catalog is stale — regenerate with "
+                f"`PYTHONPATH=src python tools/gen_metric_catalog.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target}: metric catalog is current")
+        return 0
+    if current == updated:
+        print(f"{target}: already current")
+    else:
+        target.write_text(updated)
+        print(f"{target}: metric catalog rewritten")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
